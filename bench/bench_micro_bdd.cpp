@@ -1,0 +1,94 @@
+// bench_micro_bdd.cpp — google-benchmark microbenchmarks for the BDD
+// package: image computation and full reachability on scaling circuits.
+#include <benchmark/benchmark.h>
+
+#include "bdd/reach.hpp"
+#include "bdd/reorder.hpp"
+#include "bench_circuits/generators.hpp"
+
+using namespace itpseq;
+
+namespace {
+
+void BM_BddBuildRelations(benchmark::State& state) {
+  aig::Aig g = bench::token_ring(static_cast<unsigned>(state.range(0)), false);
+  for (auto _ : state) {
+    bdd::SymbolicModel m(g);
+    benchmark::DoNotOptimize(m.init());
+  }
+}
+BENCHMARK(BM_BddBuildRelations)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_BddImage(benchmark::State& state) {
+  aig::Aig g = bench::counter(static_cast<unsigned>(state.range(0)),
+                              (1ull << state.range(0)) - 3, 1);
+  bdd::SymbolicModel m(g);
+  bdd::BddRef s = m.init();
+  for (auto _ : state) {
+    bdd::BddRef img = m.image(s);
+    benchmark::DoNotOptimize(img);
+    s = m.mgr().apply_or(s, img);
+  }
+}
+BENCHMARK(BM_BddImage)->Arg(6)->Arg(10)->Arg(14);
+
+void BM_BddForwardReach(benchmark::State& state) {
+  aig::Aig g = bench::counter(static_cast<unsigned>(state.range(0)),
+                              (1ull << state.range(0)) - 3,
+                              (1ull << state.range(0)) - 1);
+  for (auto _ : state) {
+    bdd::SymbolicModel m(g);
+    bdd::ReachResult r = bdd::forward_reach(m);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["steps"] = static_cast<double>((1ull << state.range(0)) - 4);
+}
+BENCHMARK(BM_BddForwardReach)->Arg(5)->Arg(7)->Arg(9);
+
+void BM_BddXorChain(benchmark::State& state) {
+  for (auto _ : state) {
+    bdd::BddManager m(static_cast<unsigned>(state.range(0)));
+    bdd::BddRef f = m.bdd_true();
+    for (unsigned i = 0; i < static_cast<unsigned>(state.range(0)); ++i)
+      f = m.apply_xor(f, m.var(i));
+    benchmark::DoNotOptimize(f);
+  }
+}
+BENCHMARK(BM_BddXorChain)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_BddSiftComparator(benchmark::State& state) {
+  // Sifting must discover the interleaved order of the n-pair comparator
+  // starting from the (exponential) blocked order.
+  const unsigned n = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    bdd::BddManager m(2 * n);
+    bdd::BddRef f = m.bdd_true();
+    for (unsigned i = 0; i < n; ++i)
+      f = m.apply_and(f, m.apply_equiv(m.var(i), m.var(n + i)));
+    bdd::ReorderResult r = bdd::sift_order(m, {f});
+    benchmark::DoNotOptimize(r);
+    state.counters["before"] = static_cast<double>(bdd::shared_size(m, {f}));
+    state.counters["after"] = static_cast<double>(r.dag_size);
+  }
+}
+BENCHMARK(BM_BddSiftComparator)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_BddReorderIdentity(benchmark::State& state) {
+  // Pure rebuild cost (identity order) on the interleaved comparator.
+  const unsigned n = static_cast<unsigned>(state.range(0));
+  bdd::BddManager m(2 * n);
+  bdd::BddRef f = m.bdd_true();
+  for (unsigned i = 0; i < n; ++i)
+    f = m.apply_and(f, m.apply_equiv(m.var(2 * i), m.var(2 * i + 1)));
+  bdd::VarOrder id;
+  for (unsigned i = 0; i < 2 * n; ++i) id.push_back(i);
+  for (auto _ : state) {
+    bdd::ReorderResult r = bdd::reorder(m, {f}, id);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_BddReorderIdentity)->Arg(8)->Arg(16)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,104 @@
+// bench_micro_itp.cpp — google-benchmark microbenchmarks for interpolant
+// extraction: proof-core traversal cost, single-cut versus full-sequence
+// extraction (the parallel computation of Eq. 2), and interpolant sizes.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <unordered_map>
+
+#include "bench_circuits/generators.hpp"
+#include "cnf/unroller.hpp"
+#include "itp/interpolate.hpp"
+#include "sat/solver.hpp"
+
+using namespace itpseq;
+
+namespace {
+
+struct RefutedBmc {
+  std::unique_ptr<sat::Solver> solver;
+  std::unique_ptr<cnf::Unroller> unroller;
+  aig::Aig model;
+  unsigned k;
+};
+
+RefutedBmc make_refuted(unsigned k) {
+  RefutedBmc r;
+  r.model = bench::feistel_mixer(10, 40, 3);
+  r.k = k;
+  r.solver = std::make_unique<sat::Solver>();
+  r.solver->enable_proof();
+  r.unroller = std::make_unique<cnf::Unroller>(r.model, *r.solver);
+  r.unroller->assert_init(1);
+  for (unsigned t = 0; t < k; ++t) r.unroller->add_transition(t, t + 1);
+  r.solver->add_clause({r.unroller->bad_lit(k, k + 1)}, k + 1);
+  if (r.solver->solve() != sat::Status::kUnsat)
+    throw std::logic_error("expected UNSAT");
+  return r;
+}
+
+void BM_ExtractSingleCut(benchmark::State& state) {
+  RefutedBmc r = make_refuted(static_cast<unsigned>(state.range(0)));
+  itp::InterpolantExtractor ex(r.solver->proof());
+  unsigned cut = r.k / 2;
+  std::unordered_map<sat::Var, aig::Lit> leaf;
+  for (auto _ : state) {
+    aig::Aig g;
+    for (std::size_t i = 0; i < r.model.num_latches(); ++i) g.add_input();
+    leaf.clear();
+    for (std::size_t i = 0; i < r.model.num_latches(); ++i) {
+      sat::Lit sl = r.unroller->lookup(r.model.latch(i), cut);
+      leaf[sat::var(sl)] = aig::lit_xor(g.input(i), sat::sign(sl));
+    }
+    aig::Lit I = ex.extract(g, cut, [&](sat::Var v) {
+      auto it = leaf.find(v);
+      return it == leaf.end() ? aig::kNullLit : it->second;
+    });
+    benchmark::DoNotOptimize(I);
+    state.counters["itp_nodes"] = static_cast<double>(g.cone_size(I));
+  }
+  state.counters["core"] = static_cast<double>(ex.core_size());
+}
+BENCHMARK(BM_ExtractSingleCut)->Arg(6)->Arg(10)->Arg(14);
+
+void BM_ExtractFullSequence(benchmark::State& state) {
+  RefutedBmc r = make_refuted(static_cast<unsigned>(state.range(0)));
+  itp::InterpolantExtractor ex(r.solver->proof());
+  for (auto _ : state) {
+    aig::Aig g;
+    for (std::size_t i = 0; i < r.model.num_latches(); ++i) g.add_input();
+    std::vector<std::unordered_map<sat::Var, aig::Lit>> leaf(r.k + 1);
+    for (unsigned c = 1; c <= r.k; ++c)
+      for (std::size_t i = 0; i < r.model.num_latches(); ++i) {
+        sat::Lit sl = r.unroller->lookup(r.model.latch(i), c);
+        leaf[c][sat::var(sl)] = aig::lit_xor(g.input(i), sat::sign(sl));
+      }
+    auto seq = ex.extract_sequence(g, 1, r.k, [&](std::uint32_t c, sat::Var v) {
+      auto it = leaf[c].find(v);
+      return it == leaf[c].end() ? aig::kNullLit : it->second;
+    });
+    benchmark::DoNotOptimize(seq);
+  }
+  state.counters["core"] = static_cast<double>(ex.core_size());
+}
+BENCHMARK(BM_ExtractFullSequence)->Arg(6)->Arg(10)->Arg(14);
+
+void BM_ProofLoggingOverheadEndToEnd(benchmark::State& state) {
+  // Full UNSAT solve including proof construction, for scaling bounds.
+  aig::Aig model = bench::feistel_mixer(10, 40, 3);
+  unsigned k = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    sat::Solver s;
+    s.enable_proof();
+    cnf::Unroller unr(model, s);
+    unr.assert_init(1);
+    for (unsigned t = 0; t < k; ++t) unr.add_transition(t, t + 1);
+    s.add_clause({unr.bad_lit(k, k + 1)}, k + 1);
+    benchmark::DoNotOptimize(s.solve());
+  }
+}
+BENCHMARK(BM_ProofLoggingOverheadEndToEnd)->Arg(6)->Arg(10)->Arg(14);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// bench_micro_sat.cpp — google-benchmark microbenchmarks for the CDCL
+// solver: BMC-shaped instances with and without proof logging, quantifying
+// the overhead of the resolution chain recording that interpolation needs.
+#include <benchmark/benchmark.h>
+
+#include "bench_circuits/generators.hpp"
+#include "cnf/unroller.hpp"
+#include "sat/solver.hpp"
+
+using namespace itpseq;
+
+namespace {
+
+void solve_bmc(const aig::Aig& model, unsigned k, bool proof,
+               cnf::TargetScheme scheme, benchmark::State& state) {
+  std::uint64_t conflicts = 0;
+  for (auto _ : state) {
+    sat::Solver s;
+    if (proof) s.enable_proof();
+    cnf::Unroller unr(model, s);
+    unr.assert_init(0);
+    for (unsigned t = 0; t < k; ++t) unr.add_transition(t, t + 1);
+    unr.assert_target(k, scheme, k + 1);
+    sat::Status st = s.solve();
+    benchmark::DoNotOptimize(st);
+    conflicts += s.stats().conflicts;
+  }
+  state.counters["conflicts"] =
+      benchmark::Counter(static_cast<double>(conflicts),
+                         benchmark::Counter::kAvgIterations);
+}
+
+void BM_BmcUnsat_NoProof(benchmark::State& state) {
+  aig::Aig g = bench::counter(6, 61, 45);
+  solve_bmc(g, static_cast<unsigned>(state.range(0)), false,
+            cnf::TargetScheme::kExact, state);
+}
+BENCHMARK(BM_BmcUnsat_NoProof)->Arg(10)->Arg(20)->Arg(40);
+
+void BM_BmcUnsat_WithProof(benchmark::State& state) {
+  aig::Aig g = bench::counter(6, 61, 45);
+  solve_bmc(g, static_cast<unsigned>(state.range(0)), true,
+            cnf::TargetScheme::kExact, state);
+}
+BENCHMARK(BM_BmcUnsat_WithProof)->Arg(10)->Arg(20)->Arg(40);
+
+void BM_BmcSchemes(benchmark::State& state) {
+  // Same instance under the three target schemes (Section III).
+  aig::Aig g = bench::feistel_mixer(12, 20, 7);
+  auto scheme = static_cast<cnf::TargetScheme>(state.range(0));
+  solve_bmc(g, 12, false, scheme, state);
+}
+BENCHMARK(BM_BmcSchemes)->Arg(0)->Arg(1)->Arg(2)->ArgNames({"scheme"});
+
+void BM_PigeonHole(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));  // n+1 pigeons, n holes
+  for (auto _ : state) {
+    sat::Solver s;
+    s.enable_proof();
+    std::vector<std::vector<sat::Var>> p(n + 1, std::vector<sat::Var>(n));
+    for (auto& row : p)
+      for (auto& v : row) v = s.new_var();
+    for (int i = 0; i <= n; ++i) {
+      std::vector<sat::Lit> cl;
+      for (int h = 0; h < n; ++h) cl.push_back(sat::mk_lit(p[i][h]));
+      s.add_clause(cl, 1);
+    }
+    for (int h = 0; h < n; ++h)
+      for (int i = 0; i <= n; ++i)
+        for (int j = i + 1; j <= n; ++j)
+          s.add_clause({sat::mk_lit(p[i][h], true), sat::mk_lit(p[j][h], true)}, 2);
+    sat::Status st = s.solve();
+    benchmark::DoNotOptimize(st);
+  }
+}
+BENCHMARK(BM_PigeonHole)->Arg(5)->Arg(6)->Arg(7);
+
+}  // namespace
+
+BENCHMARK_MAIN();

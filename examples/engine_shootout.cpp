@@ -1,0 +1,44 @@
+// engine_shootout.cpp — run all four engines across the benchmark suite and
+// print a per-instance comparison (a miniature of the paper's Table I).
+//
+// Usage: engine_shootout [per_instance_seconds] [family_filter]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bench_circuits/suite.hpp"
+#include "mc/engine.hpp"
+
+using namespace itpseq;
+
+int main(int argc, char** argv) {
+  double limit = argc > 1 ? std::atof(argv[1]) : 5.0;
+  std::string filter = argc > 2 ? argv[2] : "";
+
+  mc::EngineOptions opts;
+  opts.time_limit_sec = limit;
+
+  std::printf("%-16s %4s %4s | %-22s %-22s %-22s %-22s\n", "instance", "#PI",
+              "#FF", "ITP", "ITPSEQ", "SITPSEQ", "ITPSEQCBA");
+  auto cell = [](const mc::EngineResult& r) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%s k=%u j=%u %.2fs",
+                  mc::to_string(r.verdict), r.k_fp, r.j_fp, r.seconds);
+    return std::string(buf);
+  };
+
+  for (auto& inst : bench::make_academic_suite()) {
+    if (!filter.empty() && inst.family.find(filter) == std::string::npos)
+      continue;
+    mc::EngineResult a = mc::check_itp(inst.model, 0, opts);
+    mc::EngineResult b = mc::check_itpseq(inst.model, 0, opts);
+    mc::EngineResult c = mc::check_sitpseq(inst.model, 0, opts);
+    mc::EngineResult d = mc::check_itpseq_cba(inst.model, 0, opts);
+    std::printf("%-16s %4zu %4zu | %-22s %-22s %-22s %-22s\n",
+                inst.name.c_str(), inst.model.num_inputs(),
+                inst.model.num_latches(), cell(a).c_str(), cell(b).c_str(),
+                cell(c).c_str(), cell(d).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,360 @@
+#include "aig/aiger_io.hpp"
+
+#include <fstream>
+#include <functional>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace itpseq::aig {
+namespace {
+
+struct RawAnd {
+  std::uint32_t lhs, rhs0, rhs1;
+};
+
+struct RawAiger {
+  std::uint32_t max_var = 0;
+  std::vector<std::uint32_t> inputs;                       // literals
+  std::vector<std::uint32_t> latches;                      // literals
+  std::vector<std::uint32_t> latch_next;                   // literals
+  std::vector<std::uint32_t> latch_reset;                  // 0,1, or lit==latch (X)
+  std::vector<std::uint32_t> outputs;                      // literals
+  std::vector<std::uint32_t> bads;                         // literals
+  std::vector<std::uint32_t> constraints;                  // literals
+  std::vector<RawAnd> ands;
+  std::vector<std::pair<char, std::pair<std::size_t, std::string>>> symbols;
+};
+
+[[noreturn]] void fail(const std::string& msg) {
+  throw std::runtime_error("aiger: " + msg);
+}
+
+std::uint32_t read_binary_delta(std::istream& in) {
+  std::uint32_t x = 0;
+  int shift = 0;
+  while (true) {
+    int ch = in.get();
+    if (ch == EOF) fail("unexpected EOF in binary AND section");
+    x |= static_cast<std::uint32_t>(ch & 0x7f) << shift;
+    if (!(ch & 0x80)) break;
+    shift += 7;
+    if (shift > 28) fail("binary delta too large");
+  }
+  return x;
+}
+
+void write_binary_delta(std::ostream& out, std::uint32_t x) {
+  while (x >= 0x80) {
+    out.put(static_cast<char>((x & 0x7f) | 0x80));
+    x >>= 7;
+  }
+  out.put(static_cast<char>(x));
+}
+
+RawAiger parse(std::istream& in) {
+  std::string magic;
+  in >> magic;
+  bool binary;
+  if (magic == "aag")
+    binary = false;
+  else if (magic == "aig")
+    binary = true;
+  else
+    fail("bad magic '" + magic + "'");
+
+  RawAiger raw;
+  std::uint32_t I, L, O, A;
+  if (!(in >> raw.max_var >> I >> L >> O >> A)) fail("bad header");
+  std::uint32_t B = 0, C = 0, J = 0, F = 0;
+  // Optional 1.9 header extensions, terminated by end of line.
+  std::string rest;
+  std::getline(in, rest);
+  {
+    std::istringstream hs(rest);
+    std::uint32_t* slots[4] = {&B, &C, &J, &F};
+    for (auto* s : slots)
+      if (!(hs >> *s)) break;
+  }
+
+  auto check_lit = [&](std::uint32_t l, const char* what) {
+    if (l > 2 * raw.max_var + 1) fail(std::string("literal out of range in ") + what);
+    return l;
+  };
+  auto read_lit = [&](const char* what) {
+    std::uint32_t l;
+    if (!(in >> l)) fail(std::string("expected literal for ") + what);
+    return check_lit(l, what);
+  };
+  // In binary mode every pre-AND record is exactly one text line; reading
+  // line-by-line leaves the stream positioned at the first binary byte.
+  auto read_line_lit = [&](const char* what) {
+    std::string line;
+    if (!std::getline(in, line)) fail(std::string("expected line for ") + what);
+    return check_lit(static_cast<std::uint32_t>(std::stoul(line)), what);
+  };
+
+  if (!binary) {
+    for (std::uint32_t i = 0; i < I; ++i) raw.inputs.push_back(read_lit("input"));
+  } else {
+    for (std::uint32_t i = 0; i < I; ++i) raw.inputs.push_back(2 * (i + 1));
+  }
+  for (std::uint32_t i = 0; i < L; ++i) {
+    std::uint32_t cur;
+    if (binary) {
+      cur = 2 * (I + i + 1);
+    } else {
+      cur = read_lit("latch");
+    }
+    raw.latches.push_back(cur);
+    std::string line;
+    if (binary) {
+      if (!std::getline(in, line)) fail("latch line missing");
+    } else {
+      std::getline(in >> std::ws, line);
+    }
+    std::istringstream ls(line);
+    std::uint32_t next, reset = 0;
+    if (!(ls >> next)) fail("latch next missing");
+    if (!(ls >> reset)) reset = 0;
+    raw.latch_next.push_back(next);
+    raw.latch_reset.push_back(reset);
+  }
+  if (!binary) {
+    for (std::uint32_t i = 0; i < O; ++i) raw.outputs.push_back(read_lit("output"));
+    for (std::uint32_t i = 0; i < B; ++i) raw.bads.push_back(read_lit("bad"));
+    for (std::uint32_t i = 0; i < C; ++i)
+      raw.constraints.push_back(read_lit("constraint"));
+    for (std::uint32_t i = 0; i < J; ++i) (void)read_lit("justice");
+    for (std::uint32_t i = 0; i < F; ++i) (void)read_lit("fairness");
+  } else {
+    for (std::uint32_t i = 0; i < O; ++i) raw.outputs.push_back(read_line_lit("output"));
+    for (std::uint32_t i = 0; i < B; ++i) raw.bads.push_back(read_line_lit("bad"));
+    for (std::uint32_t i = 0; i < C; ++i)
+      raw.constraints.push_back(read_line_lit("constraint"));
+    for (std::uint32_t i = 0; i < J; ++i) (void)read_line_lit("justice");
+    for (std::uint32_t i = 0; i < F; ++i) (void)read_line_lit("fairness");
+  }
+
+  if (!binary) {
+    for (std::uint32_t i = 0; i < A; ++i) {
+      RawAnd a;
+      if (!(in >> a.lhs >> a.rhs0 >> a.rhs1)) fail("bad AND line");
+      raw.ands.push_back(a);
+    }
+  } else {
+    for (std::uint32_t i = 0; i < A; ++i) {
+      std::uint32_t lhs = 2 * (I + L + i + 1);
+      std::uint32_t d0 = read_binary_delta(in);
+      std::uint32_t d1 = read_binary_delta(in);
+      if (d0 > lhs) fail("binary AND delta0 out of range");
+      std::uint32_t rhs0 = lhs - d0;
+      if (d1 > rhs0) fail("binary AND delta1 out of range");
+      std::uint32_t rhs1 = rhs0 - d1;
+      raw.ands.push_back(RawAnd{lhs, rhs0, rhs1});
+    }
+  }
+
+  // Symbol table (optional): lines like "i0 name", "l3 name", "o1 name".
+  std::string line;
+  while (std::getline(in >> std::ws, line)) {
+    if (line.empty()) continue;
+    if (line[0] == 'c') break;  // comment section
+    char kind = line[0];
+    if (kind != 'i' && kind != 'l' && kind != 'o' && kind != 'b') break;
+    std::size_t sp = line.find(' ');
+    if (sp == std::string::npos) break;
+    std::size_t idx = std::stoul(line.substr(1, sp - 1));
+    raw.symbols.push_back({kind, {idx, line.substr(sp + 1)}});
+  }
+  return raw;
+}
+
+}  // namespace
+
+Aig read_aiger(std::istream& in) {
+  RawAiger raw = parse(in);
+  Aig g;
+  // Map from file variable to Aig literal.
+  std::vector<Lit> map(raw.max_var + 1, kNullLit);
+  map[0] = kFalse;
+
+  for (std::uint32_t l : raw.inputs) {
+    if (l & 1) fail("complemented input definition");
+    map[l >> 1] = g.add_input();
+  }
+  for (std::size_t i = 0; i < raw.latches.size(); ++i) {
+    std::uint32_t l = raw.latches[i];
+    if (l & 1) fail("complemented latch definition");
+    LatchInit init = LatchInit::kZero;
+    std::uint32_t r = raw.latch_reset[i];
+    if (r == 1)
+      init = LatchInit::kOne;
+    else if (r != 0)
+      init = LatchInit::kUndef;  // reset == latch literal means uninitialized
+    map[l >> 1] = g.add_latch(init);
+  }
+
+  // Build ANDs; files are topologically ordered in practice, but resolve
+  // lazily to be safe for ASCII files with arbitrary order.
+  std::vector<int> and_of_var(raw.max_var + 1, -1);
+  for (std::size_t i = 0; i < raw.ands.size(); ++i) {
+    const RawAnd& a = raw.ands[i];
+    if (a.lhs & 1) fail("complemented AND definition");
+    and_of_var[a.lhs >> 1] = static_cast<int>(i);
+  }
+  std::function<Lit(std::uint32_t)> resolve = [&](std::uint32_t file_lit) -> Lit {
+    std::uint32_t v = file_lit >> 1;
+    if (map[v] == kNullLit) {
+      int ai = and_of_var[v];
+      if (ai < 0) fail("undefined variable " + std::to_string(v));
+      const RawAnd& a = raw.ands[ai];
+      Lit f0 = resolve(a.rhs0);
+      Lit f1 = resolve(a.rhs1);
+      map[v] = g.make_and(f0, f1);
+    }
+    return lit_xor(map[v], (file_lit & 1) != 0);
+  };
+  for (const RawAnd& a : raw.ands) (void)resolve(a.lhs);
+
+  for (std::size_t i = 0; i < raw.latches.size(); ++i)
+    g.set_latch_next(map[raw.latches[i] >> 1], resolve(raw.latch_next[i]));
+  for (std::uint32_t o : raw.outputs) g.add_output(resolve(o));
+  for (std::uint32_t b : raw.bads) g.add_output(resolve(b));
+  for (std::uint32_t c : raw.constraints) g.add_constraint(resolve(c));
+
+  for (auto& [kind, val] : raw.symbols) {
+    auto& [idx, name] = val;
+    if (kind == 'i' && idx < g.num_inputs())
+      g.set_name(lit_var(g.input(idx)), name);
+    else if (kind == 'l' && idx < g.num_latches())
+      g.set_name(lit_var(g.latch(idx)), name);
+  }
+  return g;
+}
+
+Aig read_aiger_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail("cannot open '" + path + "'");
+  return read_aiger(in);
+}
+
+namespace {
+
+// Renumber Aig variables into AIGER canonical order:
+// inputs 1..I, latches I+1..I+L, ANDs topologically after.
+struct Renumbering {
+  std::vector<std::uint32_t> var_to_aiger;  // aig var -> aiger var
+  std::vector<Var> and_order;               // aig vars of ANDs, topo order
+};
+
+Renumbering renumber(const Aig& g) {
+  Renumbering r;
+  r.var_to_aiger.assign(g.num_vars(), 0);
+  std::uint32_t next = 1;
+  for (std::size_t i = 0; i < g.num_inputs(); ++i)
+    r.var_to_aiger[lit_var(g.input(i))] = next++;
+  for (std::size_t i = 0; i < g.num_latches(); ++i)
+    r.var_to_aiger[lit_var(g.latch(i))] = next++;
+  // Collect every AND reachable or not — write the full graph, topo order.
+  for (Var v = 1; v < g.num_vars(); ++v)
+    if (g.is_and(v)) r.and_order.push_back(v);
+  // Aig construction guarantees fanins have smaller var index, so ascending
+  // variable order is a topological order.
+  for (Var v : r.and_order) r.var_to_aiger[v] = next++;
+  return r;
+}
+
+std::uint32_t map_lit(const Renumbering& r, Lit l) {
+  return 2 * r.var_to_aiger[lit_var(l)] + (lit_sign(l) ? 1 : 0);
+}
+
+void write_symbols(const Aig& g, std::ostream& out) {
+  for (std::size_t i = 0; i < g.num_inputs(); ++i)
+    if (!g.name(lit_var(g.input(i))).empty())
+      out << 'i' << i << ' ' << g.name(lit_var(g.input(i))) << '\n';
+  for (std::size_t i = 0; i < g.num_latches(); ++i)
+    if (!g.name(lit_var(g.latch(i))).empty())
+      out << 'l' << i << ' ' << g.name(lit_var(g.latch(i))) << '\n';
+  for (std::size_t i = 0; i < g.num_outputs(); ++i)
+    if (!g.output_name(i).empty()) out << 'o' << i << ' ' << g.output_name(i) << '\n';
+}
+
+}  // namespace
+
+void write_aiger_ascii(const Aig& g, std::ostream& out) {
+  Renumbering r = renumber(g);
+  std::uint32_t M = static_cast<std::uint32_t>(g.num_inputs() + g.num_latches() +
+                                               r.and_order.size());
+  out << "aag " << M << ' ' << g.num_inputs() << ' ' << g.num_latches() << ' '
+      << g.num_outputs() << ' ' << r.and_order.size();
+  if (g.num_constraints()) out << " 0 " << g.num_constraints();
+  out << '\n';
+  for (std::size_t i = 0; i < g.num_inputs(); ++i)
+    out << map_lit(r, g.input(i)) << '\n';
+  for (std::size_t i = 0; i < g.num_latches(); ++i) {
+    out << map_lit(r, g.latch(i)) << ' ' << map_lit(r, g.latch_next(i));
+    LatchInit init = g.latch_init(i);
+    if (init == LatchInit::kOne)
+      out << " 1";
+    else if (init == LatchInit::kUndef)
+      out << ' ' << map_lit(r, g.latch(i));
+    out << '\n';
+  }
+  for (std::size_t i = 0; i < g.num_outputs(); ++i)
+    out << map_lit(r, g.output(i)) << '\n';
+  for (std::size_t i = 0; i < g.num_constraints(); ++i)
+    out << map_lit(r, g.constraint(i)) << '\n';
+  for (Var v : r.and_order) {
+    const Node& n = g.node(v);
+    out << 2 * r.var_to_aiger[v] << ' ' << map_lit(r, n.fanin0) << ' '
+        << map_lit(r, n.fanin1) << '\n';
+  }
+  write_symbols(g, out);
+}
+
+void write_aiger_binary(const Aig& g, std::ostream& out) {
+  Renumbering r = renumber(g);
+  std::uint32_t M = static_cast<std::uint32_t>(g.num_inputs() + g.num_latches() +
+                                               r.and_order.size());
+  out << "aig " << M << ' ' << g.num_inputs() << ' ' << g.num_latches() << ' '
+      << g.num_outputs() << ' ' << r.and_order.size();
+  if (g.num_constraints()) out << " 0 " << g.num_constraints();
+  out << '\n';
+  for (std::size_t i = 0; i < g.num_latches(); ++i) {
+    out << map_lit(r, g.latch_next(i));
+    LatchInit init = g.latch_init(i);
+    if (init == LatchInit::kOne)
+      out << " 1";
+    else if (init == LatchInit::kUndef)
+      out << ' ' << map_lit(r, g.latch(i));
+    out << '\n';
+  }
+  for (std::size_t i = 0; i < g.num_outputs(); ++i)
+    out << map_lit(r, g.output(i)) << '\n';
+  for (std::size_t i = 0; i < g.num_constraints(); ++i)
+    out << map_lit(r, g.constraint(i)) << '\n';
+  for (Var v : r.and_order) {
+    const Node& n = g.node(v);
+    std::uint32_t lhs = 2 * r.var_to_aiger[v];
+    std::uint32_t a = map_lit(r, n.fanin0);
+    std::uint32_t b = map_lit(r, n.fanin1);
+    if (a < b) std::swap(a, b);
+    write_binary_delta(out, lhs - a);
+    write_binary_delta(out, a - b);
+  }
+  write_symbols(g, out);
+}
+
+void write_aiger_file(const Aig& g, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) fail("cannot open '" + path + "' for writing");
+  if (path.size() >= 4 && path.substr(path.size() - 4) == ".aag")
+    write_aiger_ascii(g, out);
+  else
+    write_aiger_binary(g, out);
+}
+
+}  // namespace itpseq::aig

@@ -1,0 +1,35 @@
+// aiger_io.hpp — reader/writer for the AIGER circuit exchange format.
+//
+// Supports both the ASCII ("aag") and binary ("aig") variants, including the
+// AIGER 1.9 extensions we need for model checking: latch reset values and
+// "bad state" (B) properties.  Outputs (O) and bad properties (B) are both
+// loaded as Aig outputs; for model checking an output literal is interpreted
+// as a *bad* signal (property is AG !bad), matching HWMCC conventions.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "aig/aig.hpp"
+
+namespace itpseq::aig {
+
+/// Parse an AIGER stream (auto-detects "aag" vs "aig" from the header).
+/// Throws std::runtime_error on malformed input.
+Aig read_aiger(std::istream& in);
+
+/// Load an AIGER file from disk.
+Aig read_aiger_file(const std::string& path);
+
+/// Write `g` in ASCII AIGER ("aag") format.
+void write_aiger_ascii(const Aig& g, std::ostream& out);
+
+/// Write `g` in binary AIGER ("aig") format.  Requires that AND nodes are
+/// already in topological order with fanins smaller than outputs, which
+/// Aig guarantees by construction.
+void write_aiger_binary(const Aig& g, std::ostream& out);
+
+/// Write to a file; format chosen by extension (".aag" => ASCII, else binary).
+void write_aiger_file(const Aig& g, const std::string& path);
+
+}  // namespace itpseq::aig

@@ -1,0 +1,52 @@
+#include "aig/compact.hpp"
+
+#include <stdexcept>
+
+namespace itpseq::aig {
+
+CompactResult compact(const Aig& g, const std::vector<Lit>& roots,
+                      bool keep_latch_logic) {
+  CompactResult out;
+  std::vector<Lit> map(g.num_vars(), kNullLit);
+  map[0] = kFalse;
+  // Recreate leaves in order.
+  for (std::size_t i = 0; i < g.num_inputs(); ++i) {
+    Var v = lit_var(g.input(i));
+    map[v] = out.graph.add_input(g.name(v));
+  }
+  for (std::size_t i = 0; i < g.num_latches(); ++i) {
+    Var v = lit_var(g.latch(i));
+    map[v] = out.graph.add_latch(g.latch_init(i), g.name(v));
+  }
+
+  std::vector<Lit> all_roots = roots;
+  if (keep_latch_logic)
+    for (std::size_t i = 0; i < g.num_latches(); ++i)
+      all_roots.push_back(g.latch_next(i));
+
+  for (Var v : g.cone(all_roots)) {
+    if (map[v] != kNullLit) continue;
+    const Node& n = g.node(v);
+    if (n.type != NodeType::kAnd)
+      throw std::logic_error("compact: unregistered leaf in cone");
+    auto fanin = [&](Lit f) {
+      Lit base = map[lit_var(f)];
+      return lit_xor(base, lit_sign(f));
+    };
+    map[v] = out.graph.make_and(fanin(n.fanin0), fanin(n.fanin1));
+  }
+
+  if (keep_latch_logic)
+    for (std::size_t i = 0; i < g.num_latches(); ++i) {
+      Lit nx = g.latch_next(i);
+      out.graph.set_latch_next(map[lit_var(g.latch(i))],
+                               lit_xor(map[lit_var(nx)], lit_sign(nx)));
+    }
+
+  out.roots.reserve(roots.size());
+  for (Lit r : roots)
+    out.roots.push_back(lit_xor(map[lit_var(r)], lit_sign(r)));
+  return out;
+}
+
+}  // namespace itpseq::aig

@@ -1,0 +1,30 @@
+// compact.hpp — garbage collection / compaction of AIGs.
+//
+// Interpolant state-set AIGs grow monotonically during a verification run:
+// every extraction adds nodes and the strash table keeps everything alive.
+// compact() rebuilds a new AIG containing only the cones of the given
+// roots, preserving input/latch order, and returns the remapped root
+// literals.  Engines can use it between bounds to bound memory; it is also
+// useful before writing interpolants out for inspection.
+#pragma once
+
+#include <vector>
+
+#include "aig/aig.hpp"
+
+namespace itpseq::aig {
+
+/// Result of a compaction: the new graph and the roots mapped into it.
+struct CompactResult {
+  Aig graph;
+  std::vector<Lit> roots;
+};
+
+/// Rebuild `g` keeping only the transitive fanin of `roots`.  All inputs
+/// and latches of `g` are recreated (same order, names and reset values),
+/// latch next-state functions are preserved only if `keep_latch_logic`;
+/// outputs are not copied (the caller re-adds what it needs).
+CompactResult compact(const Aig& g, const std::vector<Lit>& roots,
+                      bool keep_latch_logic = false);
+
+}  // namespace itpseq::aig

@@ -1,0 +1,260 @@
+#include "bdd/bdd.hpp"
+
+#include <cassert>
+
+namespace itpseq::bdd {
+
+BddManager::BddManager(unsigned num_vars, std::size_t node_limit)
+    : num_vars_(num_vars), node_limit_(node_limit) {
+  // Terminals occupy slots 0 (false) and 1 (true).
+  nodes_.push_back(BddNode{kTermLevel, 0, 0});
+  nodes_.push_back(BddNode{kTermLevel, 1, 1});
+}
+
+BddRef BddManager::mk(unsigned level, BddRef low, BddRef high) {
+  if (low == high) return low;  // reduction rule
+  Key3 key{level, low, high};
+  auto it = unique_.find(key);
+  if (it != unique_.end()) return it->second;
+  if (nodes_.size() >= node_limit_) throw BddOverflow();
+  BddRef r = static_cast<BddRef>(nodes_.size());
+  nodes_.push_back(BddNode{level, low, high});
+  unique_.emplace(key, r);
+  return r;
+}
+
+BddRef BddManager::var(unsigned v) {
+  if (v >= num_vars_) throw std::out_of_range("BddManager::var");
+  return mk(v, kBddFalse, kBddTrue);
+}
+
+BddRef BddManager::nvar(unsigned v) {
+  if (v >= num_vars_) throw std::out_of_range("BddManager::nvar");
+  return mk(v, kBddTrue, kBddFalse);
+}
+
+unsigned BddManager::top_level(BddRef f, BddRef g, BddRef h) const {
+  unsigned l = nodes_[f].level;
+  if (nodes_[g].level < l) l = nodes_[g].level;
+  if (nodes_[h].level < l) l = nodes_[h].level;
+  return l;
+}
+
+BddRef BddManager::cofactor(BddRef f, unsigned level, bool positive) const {
+  const BddNode& n = nodes_[f];
+  if (n.level != level) return f;  // f does not test this level on top
+  return positive ? n.high : n.low;
+}
+
+BddRef BddManager::ite(BddRef f, BddRef g, BddRef h) { return ite_rec(f, g, h); }
+
+BddRef BddManager::ite_rec(BddRef f, BddRef g, BddRef h) {
+  // Terminal cases.
+  if (f == kBddTrue) return g;
+  if (f == kBddFalse) return h;
+  if (g == h) return g;
+  if (g == kBddTrue && h == kBddFalse) return f;
+
+  Key3 key{f, g, h};
+  auto it = ite_cache_.find(key);
+  if (it != ite_cache_.end()) return it->second;
+
+  unsigned level = top_level(f, g, h);
+  BddRef lo = ite_rec(cofactor(f, level, false), cofactor(g, level, false),
+                      cofactor(h, level, false));
+  BddRef hi = ite_rec(cofactor(f, level, true), cofactor(g, level, true),
+                      cofactor(h, level, true));
+  BddRef r = mk(level, lo, hi);
+  ite_cache_.emplace(key, r);
+  return r;
+}
+
+BddRef BddManager::exists(BddRef f, const std::vector<bool>& mask) {
+  exists_cache_.clear();
+  cur_mask_ = &mask;
+  BddRef r = exists_rec(f);
+  cur_mask_ = nullptr;
+  return r;
+}
+
+BddRef BddManager::exists_rec(BddRef f) {
+  if (is_const(f)) return f;
+  auto it = exists_cache_.find(f);
+  if (it != exists_cache_.end()) return it->second;
+  const BddNode& n = nodes_[f];
+  BddRef lo = exists_rec(n.low);
+  BddRef hi = exists_rec(n.high);
+  BddRef r;
+  if (n.level < cur_mask_->size() && (*cur_mask_)[n.level])
+    r = apply_or(lo, hi);
+  else
+    r = mk(n.level, lo, hi);
+  exists_cache_.emplace(f, r);
+  return r;
+}
+
+BddRef BddManager::and_exists(BddRef f, BddRef g, const std::vector<bool>& mask) {
+  andex_cache_.clear();
+  exists_cache_.clear();  // and_exists falls back to exists_rec on true operands
+  cur_mask_ = &mask;
+  BddRef r = and_exists_rec(f, g);
+  cur_mask_ = nullptr;
+  return r;
+}
+
+BddRef BddManager::and_exists_rec(BddRef f, BddRef g) {
+  if (f == kBddFalse || g == kBddFalse) return kBddFalse;
+  if (f == kBddTrue && g == kBddTrue) return kBddTrue;
+  if (f == kBddTrue) return exists_rec(g);
+  if (g == kBddTrue) return exists_rec(f);
+  if (f > g) std::swap(f, g);  // commutative: canonicalize cache key
+  std::uint64_t key = (static_cast<std::uint64_t>(f) << 32) | g;
+  auto it = andex_cache_.find(key);
+  if (it != andex_cache_.end()) return it->second;
+  unsigned level = std::min(nodes_[f].level, nodes_[g].level);
+  BddRef lo = and_exists_rec(cofactor(f, level, false), cofactor(g, level, false));
+  BddRef r;
+  if (level < cur_mask_->size() && (*cur_mask_)[level]) {
+    if (lo == kBddTrue) {
+      r = kBddTrue;  // early termination: OR with anything is true
+    } else {
+      BddRef hi = and_exists_rec(cofactor(f, level, true), cofactor(g, level, true));
+      r = apply_or(lo, hi);
+    }
+  } else {
+    BddRef hi = and_exists_rec(cofactor(f, level, true), cofactor(g, level, true));
+    r = mk(level, lo, hi);
+  }
+  andex_cache_.emplace(key, r);
+  return r;
+}
+
+BddRef BddManager::rename(BddRef f, const std::vector<unsigned>& map) {
+  rename_cache_.clear();
+  cur_map_ = &map;
+  BddRef r = rename_rec(f);
+  cur_map_ = nullptr;
+  return r;
+}
+
+BddRef BddManager::rename_rec(BddRef f) {
+  if (is_const(f)) return f;
+  auto it = rename_cache_.find(f);
+  if (it != rename_cache_.end()) return it->second;
+  const BddNode& n = nodes_[f];
+  BddRef lo = rename_rec(n.low);
+  BddRef hi = rename_rec(n.high);
+  unsigned nl = n.level < cur_map_->size() ? (*cur_map_)[n.level] : n.level;
+  // Monotonicity requirement: the renamed level must still be above the
+  // levels occurring in the cofactors for mk() to produce an ordered BDD.
+  assert((is_const(lo) || nl < nodes_[lo].level) &&
+         (is_const(hi) || nl < nodes_[hi].level) &&
+         "rename map must be order-preserving on the support");
+  BddRef r = mk(nl, lo, hi);
+  rename_cache_.emplace(f, r);
+  return r;
+}
+
+std::size_t BddManager::size(BddRef f) const {
+  if (is_const(f)) return 0;
+  std::vector<BddRef> stack{f};
+  std::unordered_map<BddRef, bool> seen;
+  std::size_t count = 0;
+  while (!stack.empty()) {
+    BddRef x = stack.back();
+    stack.pop_back();
+    if (is_const(x) || seen.count(x)) continue;
+    seen.emplace(x, true);
+    ++count;
+    stack.push_back(nodes_[x].low);
+    stack.push_back(nodes_[x].high);
+  }
+  return count;
+}
+
+bool BddManager::eval(BddRef f, const std::vector<bool>& values) const {
+  while (!is_const(f)) {
+    const BddNode& n = nodes_[f];
+    bool v = n.level < values.size() && values[n.level];
+    f = v ? n.high : n.low;
+  }
+  return f == kBddTrue;
+}
+
+double BddManager::sat_count(BddRef f) const {
+  // count(f) relative to remaining variables below f's level.
+  std::unordered_map<BddRef, double> memo;
+  // fraction of assignments satisfying f
+  std::vector<BddRef> order;
+  std::vector<BddRef> stack{f};
+  std::unordered_map<BddRef, int> state;
+  while (!stack.empty()) {
+    BddRef x = stack.back();
+    if (is_const(x)) {
+      stack.pop_back();
+      continue;
+    }
+    auto& st = state[x];
+    if (st == 0) {
+      st = 1;
+      stack.push_back(nodes_[x].low);
+      stack.push_back(nodes_[x].high);
+    } else {
+      stack.pop_back();
+      if (st == 1) {
+        st = 2;
+        order.push_back(x);
+      }
+    }
+  }
+  auto density = [&](BddRef x) -> double {
+    if (x == kBddFalse) return 0.0;
+    if (x == kBddTrue) return 1.0;
+    return memo.at(x);
+  };
+  for (BddRef x : order) {
+    const BddNode& n = nodes_[x];
+    double dl = density(n.low), dh = density(n.high);
+    // Each cofactor's density must be halved per skipped level; using pure
+    // densities makes skipping levels automatic.
+    memo[x] = 0.5 * dl + 0.5 * dh;
+  }
+  double d = density(f);
+  double total = 1.0;
+  for (unsigned i = 0; i < num_vars_; ++i) total *= 2.0;
+  return d * total;
+}
+
+std::vector<bool> BddManager::support(BddRef f) const {
+  std::vector<bool> mask(num_vars_, false);
+  std::vector<BddRef> stack{f};
+  std::unordered_map<BddRef, bool> seen;
+  while (!stack.empty()) {
+    BddRef x = stack.back();
+    stack.pop_back();
+    if (is_const(x) || seen.count(x)) continue;
+    seen.emplace(x, true);
+    if (nodes_[x].level < num_vars_) mask[nodes_[x].level] = true;
+    stack.push_back(nodes_[x].low);
+    stack.push_back(nodes_[x].high);
+  }
+  return mask;
+}
+
+std::vector<bool> BddManager::any_sat(BddRef f) const {
+  if (f == kBddFalse) throw std::invalid_argument("any_sat of false");
+  std::vector<bool> values(num_vars_, false);
+  while (!is_const(f)) {
+    const BddNode& n = nodes_[f];
+    if (n.low != kBddFalse) {
+      values[n.level] = false;
+      f = n.low;
+    } else {
+      values[n.level] = true;
+      f = n.high;
+    }
+  }
+  return values;
+}
+
+}  // namespace itpseq::bdd

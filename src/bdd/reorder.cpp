@@ -1,0 +1,126 @@
+#include "bdd/reorder.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace itpseq::bdd {
+
+std::size_t shared_size(const BddManager& m, const std::vector<BddRef>& roots) {
+  std::unordered_set<BddRef> seen;
+  std::vector<BddRef> stack(roots.begin(), roots.end());
+  std::size_t count = 0;
+  while (!stack.empty()) {
+    BddRef f = stack.back();
+    stack.pop_back();
+    if (m.is_const(f) || !seen.insert(f).second) continue;
+    ++count;
+    stack.push_back(m.node_low(f));
+    stack.push_back(m.node_high(f));
+  }
+  return count;
+}
+
+namespace {
+
+/// Recursive rebuild of src functions into dst, expanding src variables in
+/// the order given by `order` (order[L] = src var at dst level L).
+class Rebuilder {
+ public:
+  Rebuilder(BddManager& src, BddManager& dst, const VarOrder& order)
+      : src_(src), dst_(dst), order_(order) {
+    masks_.resize(src.num_vars());
+    for (unsigned v = 0; v < src.num_vars(); ++v) {
+      masks_[v].assign(src.num_vars(), false);
+      masks_[v][v] = true;
+    }
+  }
+
+  BddRef build(BddRef f) { return rec(f, 0); }
+
+ private:
+  BddRef rec(BddRef f, unsigned level) {
+    if (src_.is_const(f)) return f;  // constants share indices 0/1
+    std::uint64_t key = (static_cast<std::uint64_t>(f) << 32) | level;
+    auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+    unsigned v = order_[level];
+    // Cofactors in the source manager (general position of v).
+    BddRef f0 = src_.and_exists(f, src_.nvar(v), masks_[v]);
+    BddRef f1 = src_.and_exists(f, src_.var(v), masks_[v]);
+    BddRef r;
+    if (f0 == f1) {
+      r = rec(f0, level + 1);
+    } else {
+      BddRef d0 = rec(f0, level + 1);
+      BddRef d1 = rec(f1, level + 1);
+      r = dst_.ite(dst_.var(level), d1, d0);
+    }
+    memo_.emplace(key, r);
+    return r;
+  }
+
+  BddManager& src_;
+  BddManager& dst_;
+  const VarOrder& order_;
+  std::vector<std::vector<bool>> masks_;
+  std::unordered_map<std::uint64_t, BddRef> memo_;
+};
+
+}  // namespace
+
+ReorderResult reorder(BddManager& src, const std::vector<BddRef>& roots,
+                      const VarOrder& order, std::size_t node_limit) {
+  ReorderResult out{BddManager(src.num_vars(), node_limit), {}, order, 0};
+  Rebuilder rb(src, out.manager, order);
+  out.roots.reserve(roots.size());
+  for (BddRef r : roots) out.roots.push_back(rb.build(r));
+  out.dag_size = shared_size(out.manager, out.roots);
+  return out;
+}
+
+ReorderResult sift_order(BddManager& src, const std::vector<BddRef>& roots,
+                         const SiftOptions& opts) {
+  const unsigned n = src.num_vars();
+  VarOrder order(n);
+  for (unsigned i = 0; i < n; ++i) order[i] = i;
+  ReorderResult best = reorder(src, roots, order);
+
+  for (unsigned pass = 0; pass < opts.max_passes; ++pass) {
+    bool improved = false;
+    for (unsigned v = 0; v < n; ++v) {
+      unsigned cur_pos = static_cast<unsigned>(
+          std::find(best.order.begin(), best.order.end(), v) -
+          best.order.begin());
+      unsigned lo = 0, hi = n - 1;
+      if (opts.window > 0) {
+        lo = cur_pos > opts.window ? cur_pos - opts.window : 0;
+        hi = std::min(n - 1, cur_pos + opts.window);
+      }
+      for (unsigned p = lo; p <= hi; ++p) {
+        if (p == cur_pos) continue;
+        VarOrder cand = best.order;
+        cand.erase(cand.begin() + cur_pos);
+        cand.insert(cand.begin() + p, v);
+        // Budget: a candidate that cannot beat the current best aborts
+        // via BddOverflow during the rebuild.
+        std::size_t limit = best.dag_size + n + 16;
+        try {
+          ReorderResult r = reorder(src, roots, cand, limit);
+          if (static_cast<double>(r.dag_size) * opts.min_gain <
+              static_cast<double>(best.dag_size)) {
+            best = std::move(r);
+            cur_pos = p;
+            improved = true;
+          }
+        } catch (const BddOverflow&) {
+          // worse than best — skip
+        }
+      }
+    }
+    if (!improved) break;
+  }
+  return best;
+}
+
+}  // namespace itpseq::bdd

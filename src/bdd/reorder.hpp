@@ -1,0 +1,60 @@
+// reorder.hpp — variable reordering for the ROBDD package.
+//
+// The node table of BddManager is immutable (no per-level unique tables),
+// so reordering is implemented as *rebuild under a new order*: the source
+// functions are re-expanded, level by level of the target order, into a
+// fresh manager.  On top of that transform, sift_order() runs the classic
+// greedy sifting loop — move each variable through candidate positions and
+// keep the best — using the current best size as a node-limit so that
+// worse candidates abort early instead of being built in full.
+//
+// The textbook motivation applies unchanged: functions like the n-bit
+// comparator AND_i (a_i <-> b_i) are exponential under the blocked order
+// a_1..a_n b_1..b_n and linear under the interleaved order, and sifting
+// recovers the interleaved order automatically.
+#pragma once
+
+#include <vector>
+
+#include "bdd/bdd.hpp"
+
+namespace itpseq::bdd {
+
+/// A variable order: order[L] = source variable placed at level L of the
+/// reordered manager.
+using VarOrder = std::vector<unsigned>;
+
+/// Result of a reordering: a fresh manager holding the rebuilt roots.
+struct ReorderResult {
+  BddManager manager;
+  std::vector<BddRef> roots;
+  VarOrder order;        ///< order used (order[new_level] = old var)
+  std::size_t dag_size;  ///< combined DAG size of the rebuilt roots
+};
+
+/// Combined DAG size of several roots (shared nodes counted once).
+std::size_t shared_size(const BddManager& m, const std::vector<BddRef>& roots);
+
+/// Rebuild `roots` of `src` in a fresh manager under `order`.  Throws
+/// BddOverflow if the rebuild exceeds `node_limit` nodes (callers use this
+/// to abandon bad candidate orders early).
+ReorderResult reorder(BddManager& src, const std::vector<BddRef>& roots,
+                      const VarOrder& order,
+                      std::size_t node_limit = 20'000'000);
+
+struct SiftOptions {
+  /// Upper bound on candidate positions tried per variable (0 = all).
+  unsigned window = 0;
+  /// Repeat the full sifting pass until no pass improves, at most this
+  /// many times.
+  unsigned max_passes = 2;
+  /// Accept a move only if it shrinks the size by at least this factor
+  /// (1.0 = any improvement).
+  double min_gain = 1.0;
+};
+
+/// Greedy sifting: returns the best order found and the rebuilt roots.
+ReorderResult sift_order(BddManager& src, const std::vector<BddRef>& roots,
+                         const SiftOptions& opts = {});
+
+}  // namespace itpseq::bdd

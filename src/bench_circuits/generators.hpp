@@ -1,0 +1,127 @@
+// generators.hpp — parameterized sequential circuit families.
+//
+// These stand in for the paper's benchmark suite (HWMCC-style academic
+// circuits plus proprietary industrial designs, which we cannot ship — see
+// DESIGN.md §7).  Every generator returns an AIG with exactly one output,
+// the *bad* signal: the safety property is "bad is never 1".
+//
+// Families are chosen to cover the behaviours the paper's evaluation
+// exercises:
+//   * shallow and deep forward/backward diameters (counters, rings),
+//   * PASS properties with small inductive invariants (one-hot rings,
+//     guarded queues) where interpolation converges quickly,
+//   * FAIL properties at a known depth (for BMC/falsification paths),
+//   * large "industrial-like" designs where the property cone is a small
+//     fraction of the logic (localization abstraction / CBA wins).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "aig/aig.hpp"
+
+namespace itpseq::bench {
+
+// --- small arithmetic helpers over AIG literals -----------------------------
+
+/// bits == value (unsigned, bits[0] = LSB).
+aig::Lit equals_const(aig::Aig& g, const std::vector<aig::Lit>& bits,
+                      std::uint64_t value);
+/// bits + 1 (wrapping); result has the same width.
+std::vector<aig::Lit> increment(aig::Aig& g, const std::vector<aig::Lit>& bits);
+/// if-then-else over vectors.
+std::vector<aig::Lit> mux(aig::Aig& g, aig::Lit sel,
+                          const std::vector<aig::Lit>& then_v,
+                          const std::vector<aig::Lit>& else_v);
+/// At least two of the literals are true.
+aig::Lit at_least_two(aig::Aig& g, const std::vector<aig::Lit>& lits);
+
+// --- circuit families -------------------------------------------------------
+
+/// Modulo-`modulo` binary counter (width = bit count needed), optional
+/// enable input.  bad = (count == bad_value).  FAILs at depth bad_value when
+/// bad_value < modulo, PASSes otherwise.  Forward diameter = modulo - 1.
+aig::Aig counter(unsigned width, std::uint64_t modulo, std::uint64_t bad_value,
+                 bool with_enable = false);
+
+/// Token ring of n stages, one-hot initialized.  Two properties:
+///   fail_reach = true : bad = token at the last stage (FAILs at n-1);
+///   fail_reach = false: bad = two tokens at once (PASSes; the invariant is
+///                       one-hotness, a classic interpolation target).
+aig::Aig token_ring(unsigned n, bool fail_reach);
+
+/// Round-robin arbiter over n request inputs: a one-hot pointer advances
+/// each cycle; grant_i = pointer_i AND req_i.  bad = two grants (PASS).
+/// With `broken` = true, grant of station 0 ignores the pointer, so two
+/// grants are reachable (FAIL at depth 1).
+aig::Aig arbiter(unsigned n, bool broken);
+
+/// Bounded queue occupancy tracker with push/pop inputs and capacity c.
+/// Guarded: push only counts when not full -> bad = (count > c) PASSes.
+/// Unguarded: count saturates at 2^width-1 -> bad = (count == c+1) FAILs at
+/// depth c+1.
+aig::Aig queue(unsigned capacity, bool guarded);
+
+/// Two-phase traffic-light controller with an m-cycle timer per phase.
+/// bad = both directions green (PASS).  Diameter grows with m.
+aig::Aig traffic_light(unsigned m);
+
+/// Binary counter with a registered Gray-code view; bad = the Gray register
+/// changes by two or more bits in one step (PASS).
+aig::Aig gray_counter(unsigned width);
+
+/// Fibonacci LFSR of `width` bits (taps at width-1 and width-2... pattern
+/// fixed), seeded with 1.  fail_value != 0: bad = (state == fail_value),
+/// reachable iff the value lies on the LFSR orbit of the seed (the suite
+/// only uses values verified by simulation, with known depth).
+/// fail_value == 0: bad = (state == 0), unreachable from a nonzero seed
+/// (PASS).
+aig::Aig lfsr(unsigned width, std::uint64_t fail_value);
+
+/// Feistel-style mixer: two `width`-bit register halves; each cycle
+/// L' = R, R' = L xor F(R, round_key_input).  A modulo-m round counter
+/// guards the property: bad = (round == m) which is unreachable since the
+/// counter wraps at m-1 (PASS), but the wide mixing logic sits in the
+/// property's transitive cone, stressing abstraction.
+aig::Aig feistel_mixer(unsigned width, unsigned m, std::uint32_t seed);
+
+/// "Industrial-like" pipeline: `stages` register stages of `width` bits
+/// with random AND/XOR clouds between them (seeded), plus a small property
+/// overlay:
+///   variant 0 (PASS): a guarded modulo-m counter whose enable comes from
+///     the cloud; bad = count == m (unreachable; invariant is local — the
+///     CBA engine should refine only the counter latches);
+///   variant 1 (FAIL): a conjunction-chain of `depth` match registers
+///     advanced by an input pattern; bad = last match register
+///     (FAILs at exactly `depth`).
+aig::Aig industrial(unsigned width, unsigned stages, unsigned variant,
+                    unsigned param, std::uint32_t seed);
+
+/// Combination lock: `length` stages; the lock advances one stage per cycle
+/// while the `bits`-wide input matches the stage's key nibble (seeded) and
+/// resets to stage 0 otherwise.  bad = lock fully open.  FAILs at exactly
+/// `length` — the classic deep-BMC falsification workload (BMC affinity is
+/// the heart of the ITPSEQ story).  With `unopenable` = true one stage's
+/// key is contradictory (requires in AND NOT in), so the lock can never
+/// open: PASS with a deep backward diameter.
+aig::Aig combination_lock(unsigned length, unsigned bits, std::uint32_t seed,
+                          bool unopenable = false);
+
+/// Vending machine: a credit accumulator (coin input adds 1, vend input
+/// subtracts `price` when credit >= price).  Guarded: credit saturates at
+/// `max_credit` -> bad = credit > max_credit PASSes.  Unguarded: bad =
+/// credit == max_credit + 1 FAILs at depth max_credit + 1.
+aig::Aig vending(unsigned max_credit, unsigned price, bool guarded);
+
+/// Sticky pattern detector: bad latches on after the 2-bit input pattern
+/// "11" has been held for `m` consecutive cycles; FAILs at exactly m.
+/// With `resettable` = true, a third input clears progress, which does not
+/// change the verdict but widens the search space.
+aig::Aig sticky_detector(unsigned m, bool resettable);
+
+/// Simulate a closed (input-free) portion: returns the depth at which bad
+/// first becomes 1, or -1 if not within max_steps.  Used by the suite to
+/// derive expected depths for LFSR-style instances.
+int first_bad_depth(const aig::Aig& g, unsigned max_steps);
+
+}  // namespace itpseq::bench

@@ -1,0 +1,210 @@
+#include "bench_circuits/suite.hpp"
+
+#include "bench_circuits/generators.hpp"
+
+namespace itpseq::bench {
+
+namespace {
+
+void add(std::vector<Instance>& out, std::string name, std::string family,
+         aig::Aig g, Expected exp, int fail_depth = -1, bool industrial = false) {
+  Instance inst;
+  inst.name = std::move(name);
+  inst.family = std::move(family);
+  inst.model = std::move(g);
+  inst.expected = exp;
+  inst.fail_depth = fail_depth;
+  inst.industrial = industrial;
+  out.push_back(std::move(inst));
+}
+
+void add_academic(std::vector<Instance>& out) {
+  // Counters: deep FAIL/PASS with exactly known diameters.
+  for (unsigned w : {4u, 6u, 8u}) {
+    std::uint64_t mod = (1ull << w) - 3;
+    add(out, "cnt" + std::to_string(w) + "pass", "counter",
+        counter(w, mod, mod + 1), Expected::kPass);
+    std::uint64_t target = mod / 2;
+    add(out, "cnt" + std::to_string(w) + "fail", "counter",
+        counter(w, mod, target), Expected::kFail, static_cast<int>(target));
+  }
+  for (unsigned w : {4u, 6u}) {
+    std::uint64_t mod = (1ull << w) - 5;
+    add(out, "cnten" + std::to_string(w) + "pass", "counter-en",
+        counter(w, mod, mod + 2, true), Expected::kPass);
+    add(out, "cnten" + std::to_string(w) + "fail", "counter-en",
+        counter(w, mod, 3, true), Expected::kFail, 3);
+  }
+
+  // Token rings: one-hot invariant (PASS) and reach-the-end (FAIL).
+  for (unsigned n : {4u, 8u, 12u, 16u, 24u, 32u}) {
+    add(out, "ring" + std::to_string(n) + "safe", "token-ring",
+        token_ring(n, false), Expected::kPass);
+    add(out, "ring" + std::to_string(n) + "reach", "token-ring",
+        token_ring(n, true), Expected::kFail, static_cast<int>(n - 1));
+  }
+
+  // Arbiters.
+  for (unsigned n : {3u, 4u, 6u, 8u}) {
+    add(out, "arb" + std::to_string(n) + "ok", "arbiter", arbiter(n, false),
+        Expected::kPass);
+    add(out, "arb" + std::to_string(n) + "bug", "arbiter", arbiter(n, true),
+        Expected::kFail, -1);
+  }
+
+  // Queues.
+  for (unsigned c : {4u, 8u, 12u, 16u}) {
+    add(out, "queue" + std::to_string(c) + "grd", "queue", queue(c, true),
+        Expected::kPass);
+    add(out, "queue" + std::to_string(c) + "ovf", "queue", queue(c, false),
+        Expected::kFail, static_cast<int>(c + 1));
+  }
+
+  // Traffic lights.
+  for (unsigned m : {2u, 4u, 8u, 16u})
+    add(out, "tlc" + std::to_string(m), "traffic", traffic_light(m),
+        Expected::kPass);
+
+  // Gray counters.
+  for (unsigned w : {4u, 6u, 8u})
+    add(out, "gray" + std::to_string(w), "gray", gray_counter(w),
+        Expected::kPass);
+
+  // LFSRs: PASS (never returns to zero) plus FAIL values picked from the
+  // orbit, with depth derived by simulation.
+  for (unsigned w : {4u, 6u, 8u, 10u}) {
+    add(out, "lfsr" + std::to_string(w) + "z", "lfsr", lfsr(w, 0),
+        Expected::kPass);
+    // Walk a handful of steps to find a state on the orbit.
+    aig::Aig probe = lfsr(w, 1);  // value doesn't matter for stepping
+    // Use simulation on a bad=state==V circuit for a V reached at ~2w steps.
+    // The orbit of seed 1 after d steps is deterministic; sample d = 2w-1.
+    // first_bad_depth confirms the depth below.
+    // Try a few candidate values until one is on the orbit.
+    for (std::uint64_t v = 1; v < (1ull << w); ++v) {
+      aig::Aig cand = lfsr(w, v);
+      int d = first_bad_depth(cand, 4 * w);
+      if (d > static_cast<int>(w)) {
+        add(out, "lfsr" + std::to_string(w) + "hit", "lfsr", std::move(cand),
+            Expected::kFail, d);
+        break;
+      }
+    }
+  }
+
+  // Feistel-style mixers (guarded PASS with wide cones).
+  for (auto [w, m, seed] : {std::tuple<unsigned, unsigned, std::uint32_t>{8, 6, 11},
+                            {12, 8, 12},
+                            {16, 10, 13},
+                            {16, 12, 14},
+                            {12, 20, 15},
+                            {16, 24, 16}})
+    add(out, "feistel" + std::to_string(w) + "m" + std::to_string(m), "feistel",
+        feistel_mixer(w, m, seed), Expected::kPass);
+
+  // Combination locks: BMC-affine deep falsification and deep-diameter PASS.
+  for (auto [len, bits] : {std::pair<unsigned, unsigned>{4, 2},
+                           {8, 2},
+                           {12, 3},
+                           {16, 3},
+                           {24, 4}}) {
+    add(out, "lock" + std::to_string(len) + "open", "lock",
+        combination_lock(len, bits, 0x90 + len), Expected::kFail,
+        static_cast<int>(len));
+    add(out, "lock" + std::to_string(len) + "safe", "lock",
+        combination_lock(len, bits, 0x90 + len, /*unopenable=*/true),
+        Expected::kPass);
+  }
+
+  // Vending machines.
+  for (auto [credit, price] : {std::pair<unsigned, unsigned>{6, 2},
+                               {10, 3},
+                               {14, 4}}) {
+    add(out, "vend" + std::to_string(credit) + "grd", "vending",
+        vending(credit, price, true), Expected::kPass);
+    add(out, "vend" + std::to_string(credit) + "ovr", "vending",
+        vending(credit, price, false), Expected::kFail,
+        static_cast<int>(credit + 1));
+  }
+
+  // Sticky pattern detectors.
+  for (unsigned m : {3u, 6u, 10u, 14u}) {
+    add(out, "sticky" + std::to_string(m), "sticky", sticky_detector(m, false),
+        Expected::kFail, static_cast<int>(m));
+    add(out, "sticky" + std::to_string(m) + "r", "sticky",
+        sticky_detector(m, true), Expected::kFail, static_cast<int>(m));
+  }
+
+  // Deeper traffic lights and Gray counters for convergence-depth spread.
+  for (unsigned m : {32u, 64u})
+    add(out, "tlc" + std::to_string(m), "traffic", traffic_light(m),
+        Expected::kPass);
+  add(out, "gray10", "gray", gray_counter(10), Expected::kPass);
+}
+
+void add_industrial(std::vector<Instance>& out) {
+  // Large pipelines; latch count ~ width * stages (+ overlay).
+  struct Cfg {
+    unsigned width, stages, variant, param;
+    std::uint32_t seed;
+  };
+  const Cfg cfgs[] = {
+      {24, 6, 0, 8, 101},   // ~150 FF, PASS
+      {24, 6, 1, 6, 102},   // ~150 FF, FAIL @6
+      {32, 8, 0, 10, 201},  // ~260 FF, PASS
+      {32, 8, 1, 8, 202},   // ~260 FF, FAIL @8
+      {40, 10, 0, 12, 301}, // ~400 FF, PASS
+      {40, 10, 1, 10, 302}, // ~400 FF, FAIL @10
+      {48, 12, 0, 8, 401},  // ~580 FF, PASS
+      {48, 12, 1, 12, 402}, // ~580 FF, FAIL @12
+      {56, 14, 0, 10, 501}, // ~790 FF, PASS
+      {56, 14, 1, 9, 502},  // ~790 FF, FAIL @9
+      {32, 5, 0, 16, 601},  // wide/shallow PASS
+      {16, 20, 0, 6, 701},  // narrow/deep PASS
+      {24, 8, 1, 14, 801},  // mid FAIL, deeper chain
+      {40, 8, 0, 20, 901},  // deep counter PASS
+      {28, 10, 1, 16, 111}, // mid FAIL
+      {36, 12, 0, 24, 121}, // deep counter PASS
+  };
+  char tag = 'A';
+  unsigned idx = 1;
+  for (const Cfg& c : cfgs) {
+    aig::Aig g = industrial(c.width, c.stages, c.variant, c.param, c.seed);
+    Expected exp = c.variant == 0 ? Expected::kPass : Expected::kFail;
+    int depth = c.variant == 1 ? static_cast<int>(c.param) : -1;
+    add(out,
+        std::string("industrial") + tag + std::to_string(idx), "industrial",
+        std::move(g), exp, depth, /*industrial=*/true);
+    if (++idx > 2) {
+      idx = 1;
+      ++tag;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Instance> make_suite() {
+  std::vector<Instance> out;
+  add_academic(out);
+  add_industrial(out);
+  return out;
+}
+
+std::vector<Instance> make_academic_suite(unsigned max_latches) {
+  std::vector<Instance> out;
+  add_academic(out);
+  std::vector<Instance> filtered;
+  for (auto& inst : out)
+    if (inst.model.num_latches() <= max_latches)
+      filtered.push_back(std::move(inst));
+  return filtered;
+}
+
+std::vector<Instance> make_industrial_suite() {
+  std::vector<Instance> out;
+  add_industrial(out);
+  return out;
+}
+
+}  // namespace itpseq::bench

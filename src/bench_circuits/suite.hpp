@@ -1,0 +1,38 @@
+// suite.hpp — the benchmark suite: ~100 named instances standing in for the
+// paper's academic + industrial selection (Table I / Fig. 6 / Fig. 7).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "aig/aig.hpp"
+
+namespace itpseq::bench {
+
+/// Analytically known verdict of an instance, used by tests and by the
+/// benchmark tables for sanity-checking engine output.
+enum class Expected : std::uint8_t { kPass, kFail, kOpen };
+
+struct Instance {
+  std::string name;
+  std::string family;
+  aig::Aig model;
+  Expected expected = Expected::kOpen;
+  /// For kFail with a deterministic shallowest counterexample: its depth
+  /// (-1 when unknown).
+  int fail_depth = -1;
+  /// Rough size class; large instances are excluded from BDD columns.
+  bool industrial = false;
+};
+
+/// Full suite (about 100 instances).
+std::vector<Instance> make_suite();
+
+/// Subset: small/mid instances suitable for exhaustive testing with the BDD
+/// ground-truth engine (every instance has <= max_latches latches).
+std::vector<Instance> make_academic_suite(unsigned max_latches = 40);
+
+/// Subset: the large pipelined instances ("industrial" rows of Table I).
+std::vector<Instance> make_industrial_suite();
+
+}  // namespace itpseq::bench

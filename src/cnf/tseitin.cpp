@@ -1,0 +1,62 @@
+#include "cnf/tseitin.hpp"
+
+#include <cassert>
+
+namespace itpseq::cnf {
+
+sat::Lit TseitinEncoder::true_lit(std::uint32_t label) {
+  if (true_ == sat::kNoLit) {
+    sat::Var v = solver_.new_var();
+    true_ = sat::mk_lit(v);
+    solver_.add_clause({true_}, label);
+  }
+  return true_;
+}
+
+sat::Lit TseitinEncoder::lookup(aig::Lit l) const {
+  aig::Var v = aig::lit_var(l);
+  if (v >= map_.size() || map_[v] == sat::kNoLit) return sat::kNoLit;
+  return aig::lit_sign(l) ? sat::neg(map_[v]) : map_[v];
+}
+
+sat::Lit TseitinEncoder::encode(aig::Lit l, std::uint32_t label) {
+  if (map_.size() < g_.num_vars()) map_.resize(g_.num_vars(), sat::kNoLit);
+  aig::Var root = aig::lit_var(l);
+  if (root == 0) {
+    sat::Lit t = true_lit(label);
+    return aig::lit_sign(l) ? t : sat::neg(t);
+  }
+  if (map_[root] == sat::kNoLit) {
+    for (aig::Var v : g_.cone({aig::var_lit(root)})) {
+      if (map_[v] != sat::kNoLit) continue;
+      const aig::Node& n = g_.node(v);
+      if (n.type == aig::NodeType::kAnd) {
+        auto fanin_sat = [&](aig::Lit f) -> sat::Lit {
+          aig::Var fv = aig::lit_var(f);
+          sat::Lit s;
+          if (fv == 0) {
+            s = sat::neg(true_lit(label));  // aig constant false
+          } else {
+            assert(map_[fv] != sat::kNoLit && "cone order violated");
+            s = map_[fv];
+          }
+          return aig::lit_sign(f) ? sat::neg(s) : s;
+        };
+        sat::Lit a = fanin_sat(n.fanin0);
+        sat::Lit b = fanin_sat(n.fanin1);
+        sat::Lit g = sat::mk_lit(solver_.new_var());
+        // g <-> a & b
+        solver_.add_clause({sat::neg(g), a}, label);
+        solver_.add_clause({sat::neg(g), b}, label);
+        solver_.add_clause({g, sat::neg(a), sat::neg(b)}, label);
+        map_[v] = g;
+      } else {
+        map_[v] = leaf_(v);
+        assert(map_[v] != sat::kNoLit && "leaf map must cover all leaves");
+      }
+    }
+  }
+  return aig::lit_sign(l) ? sat::neg(map_[root]) : map_[root];
+}
+
+}  // namespace itpseq::cnf

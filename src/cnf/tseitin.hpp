@@ -1,0 +1,46 @@
+// tseitin.hpp — Tseitin encoding of AIG cones into a SAT solver.
+//
+// A TseitinEncoder owns a mapping from AIG variables (in one fixed context,
+// e.g. one time frame or one state-set AIG) to SAT literals, creating gate
+// definition clauses on demand.  Gate clauses carry a caller-chosen
+// partition label so they land in the right interpolation partition.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "sat/solver.hpp"
+
+namespace itpseq::cnf {
+
+/// Callback providing the SAT literal of an AIG *leaf* (input or latch).
+using LeafMap = std::function<sat::Lit(aig::Var)>;
+
+class TseitinEncoder {
+ public:
+  /// `leaf` is consulted once per leaf variable and memoized.
+  TseitinEncoder(const aig::Aig& g, sat::Solver& solver, LeafMap leaf)
+      : g_(g), solver_(solver), leaf_(std::move(leaf)) {}
+
+  /// SAT literal equisatisfiably representing AIG literal `l`; gate clauses
+  /// added with partition `label`.  The constant-true AIG literal maps to a
+  /// dedicated always-true SAT variable.
+  sat::Lit encode(aig::Lit l, std::uint32_t label);
+
+  /// Pre-encoded SAT literal for an AIG node, or sat::kNoLit.
+  sat::Lit lookup(aig::Lit l) const;
+
+  const aig::Aig& graph() const { return g_; }
+
+ private:
+  sat::Lit true_lit(std::uint32_t label);
+
+  const aig::Aig& g_;
+  sat::Solver& solver_;
+  LeafMap leaf_;
+  std::vector<sat::Lit> map_;  // aig var -> sat lit (positive phase)
+  sat::Lit true_ = sat::kNoLit;
+};
+
+}  // namespace itpseq::cnf

@@ -1,0 +1,44 @@
+// blif.hpp — reader/writer for the Berkeley Logic Interchange Format.
+//
+// Covers the structural subset used by logic-synthesis flows (and by the
+// academic circuits the paper's suite descends from): .model / .inputs /
+// .outputs / .latch / .names with sum-of-products covers / .end.
+// Hierarchical constructs (.subckt, .search) and multiple .model sections
+// are rejected with a descriptive error.
+//
+// Semantics implemented exactly per the BLIF report:
+//   * a .names cover with output plane '1' is the OR of its cubes, with
+//     '0' the complement of the OR of its cubes;
+//   * an empty cover is constant 0; a single empty-input row "1" (or the
+//     bare ".names out" + "1") is constant 1;
+//   * .latch <next> <out> [<type> <clock>] [<init>], init in {0,1,2,3}
+//     (2 = don't care, 3 = unknown; both map to LatchInit::kUndef).
+//
+// Reading produces an Aig whose outputs are the .outputs signals
+// (interpreted downstream as bad signals, matching the AIGER reader's
+// convention).  Writing emits one two-input .names per AND node.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "aig/aig.hpp"
+
+namespace itpseq::io {
+
+/// Parse a BLIF stream.  Throws std::runtime_error with a line-numbered
+/// message on malformed input.
+aig::Aig read_blif(std::istream& in);
+
+/// Load a BLIF file from disk.
+aig::Aig read_blif_file(const std::string& path);
+
+/// Write `g` as a flat BLIF model named `model_name`.
+void write_blif(const aig::Aig& g, std::ostream& out,
+                const std::string& model_name = "itpseq");
+
+/// Write to a file.
+void write_blif_file(const aig::Aig& g, const std::string& path,
+                     const std::string& model_name = "itpseq");
+
+}  // namespace itpseq::io

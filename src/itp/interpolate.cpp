@@ -1,0 +1,147 @@
+#include "itp/interpolate.hpp"
+
+#include <stdexcept>
+
+namespace itpseq::itp {
+
+const char* to_string(System s) {
+  switch (s) {
+    case System::kMcMillan: return "mcmillan";
+    case System::kPudlak: return "pudlak";
+    case System::kInverseMcMillan: return "inverse-mcmillan";
+  }
+  return "?";
+}
+
+InterpolantExtractor::InterpolantExtractor(const sat::Proof& proof)
+    : proof_(proof) {
+  if (!proof.complete())
+    throw std::invalid_argument("InterpolantExtractor: proof incomplete");
+  core_ = proof.core();
+  // Classify variables by the labels of core original clauses they occur in.
+  for (sat::ClauseId id : core_) {
+    if (!proof_.is_original(id)) continue;
+    std::uint32_t label = proof_.label(id);
+    for (sat::Lit l : proof_.literals(id)) {
+      sat::Var v = sat::var(l);
+      if (v >= min_label_.size()) {
+        min_label_.resize(v + 1, kUnset);
+        max_label_.resize(v + 1, 0);
+      }
+      if (min_label_[v] == kUnset || label < min_label_[v]) min_label_[v] = label;
+      if (max_label_[v] == 0 || label > max_label_[v]) max_label_[v] = label;
+    }
+  }
+}
+
+bool InterpolantExtractor::var_range(sat::Var v, std::uint32_t& min_label,
+                                     std::uint32_t& max_label) const {
+  if (v >= min_label_.size() || min_label_[v] == kUnset) return false;
+  min_label = min_label_[v];
+  max_label = max_label_[v];
+  return true;
+}
+
+bool InterpolantExtractor::shared_at(sat::Var v, std::uint32_t cut) const {
+  if (v >= min_label_.size() || min_label_[v] == kUnset) return false;
+  return min_label_[v] <= cut && max_label_[v] > cut;
+}
+
+aig::Lit InterpolantExtractor::extract(aig::Aig& out, std::uint32_t cut,
+                                       const LeafFn& leaf, System sys) const {
+  auto mapped_leaf = [&](sat::Var v) {
+    aig::Lit al = leaf(v);
+    if (al == aig::kNullLit)
+      throw std::logic_error("interpolation: unmapped shared variable");
+    return al;
+  };
+  std::vector<aig::Lit> val(proof_.size(), aig::kNullLit);
+  for (sat::ClauseId id : core_) {
+    if (proof_.is_original(id)) {
+      if (proof_.label(id) <= cut) {
+        // A-leaf.
+        if (sys == System::kMcMillan) {
+          std::vector<aig::Lit> disj;  // OR of shared literals
+          for (sat::Lit l : proof_.literals(id)) {
+            sat::Var v = sat::var(l);
+            if (!shared_at(v, cut)) continue;
+            disj.push_back(aig::lit_xor(mapped_leaf(v), sat::sign(l)));
+          }
+          val[id] = out.make_or_many(disj);
+        } else {
+          val[id] = aig::kFalse;  // Pudlak, inverse McMillan
+        }
+      } else {
+        // B-leaf.
+        if (sys == System::kInverseMcMillan) {
+          std::vector<aig::Lit> conj;  // AND of negated shared literals
+          for (sat::Lit l : proof_.literals(id)) {
+            sat::Var v = sat::var(l);
+            if (!shared_at(v, cut)) continue;
+            conj.push_back(aig::lit_xor(mapped_leaf(v), !sat::sign(l)));
+          }
+          val[id] = out.make_and_many(conj);
+        } else {
+          val[id] = aig::kTrue;  // McMillan, Pudlak
+        }
+      }
+    } else {
+      const sat::ResolutionChain& ch = proof_.chain(id);
+      aig::Lit acc = val[ch.chain[0]];
+      for (std::size_t s = 0; s + 1 < ch.chain.size(); ++s) {
+        sat::Var pivot = ch.pivots[s];
+        aig::Lit rhs = val[ch.chain[s + 1]];
+        bool in_core = pivot < max_label_.size() && min_label_[pivot] != kUnset;
+        bool in_b = in_core && max_label_[pivot] > cut;
+        bool in_a = !in_core || min_label_[pivot] <= cut;
+        switch (sys) {
+          case System::kMcMillan:
+            // A-local => OR; shared or B-local => AND.
+            acc = in_b ? out.make_and(acc, rhs) : out.make_or(acc, rhs);
+            break;
+          case System::kPudlak:
+            if (!in_b) {
+              acc = out.make_or(acc, rhs);  // A-local
+            } else if (!in_a) {
+              acc = out.make_and(acc, rhs);  // B-local
+            } else {
+              // Shared: mux on the pivot, (v OR Ip) AND (NOT v OR In) with
+              // Ip from the antecedent containing the positive pivot.
+              bool rhs_positive = false;
+              for (sat::Lit l : proof_.literals(ch.chain[s + 1]))
+                if (sat::var(l) == pivot) {
+                  rhs_positive = !sat::sign(l);
+                  break;
+                }
+              aig::Lit ip = rhs_positive ? rhs : acc;
+              aig::Lit in = rhs_positive ? acc : rhs;
+              aig::Lit v_lit = mapped_leaf(pivot);
+              acc = out.make_and(out.make_or(v_lit, ip),
+                                 out.make_or(aig::lit_not(v_lit), in));
+            }
+            break;
+          case System::kInverseMcMillan:
+            // B-local => AND; shared or A-local => OR.
+            acc = (in_b && !in_a) ? out.make_and(acc, rhs)
+                                  : out.make_or(acc, rhs);
+            break;
+        }
+      }
+      val[id] = acc;
+    }
+  }
+  return val[proof_.final_id()];
+}
+
+std::vector<aig::Lit> InterpolantExtractor::extract_sequence(
+    aig::Aig& out, std::uint32_t first, std::uint32_t last,
+    const CutLeafFn& leaf, System sys) const {
+  std::vector<aig::Lit> seq;
+  seq.reserve(last - first + 1);
+  for (std::uint32_t cut = first; cut <= last; ++cut)
+    seq.push_back(
+        extract(out, cut, [&](sat::Var v) { return leaf(cut, v); }, sys));
+  return seq;
+}
+
+}  // namespace itpseq::itp

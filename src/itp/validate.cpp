@@ -1,0 +1,143 @@
+#include "itp/validate.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "cnf/tseitin.hpp"
+#include "sat/solver.hpp"
+
+namespace itpseq::itp {
+
+namespace {
+
+/// Add the clauses with label in [lo, hi] over fresh solver vars `vars`.
+void add_range(sat::Solver& s, const LabeledCnf& f,
+               const std::vector<sat::Var>& vars, std::uint32_t lo,
+               std::uint32_t hi) {
+  for (const auto& [lits, label] : f.clauses) {
+    if (label < lo || label > hi) continue;
+    std::vector<sat::Lit> cl;
+    cl.reserve(lits.size());
+    for (sat::Lit l : lits)
+      cl.push_back(sat::mk_lit(vars[sat::var(l)], sat::sign(l)));
+    s.add_clause(cl);
+  }
+}
+
+/// Assert pred (or its negation) over the universe vars.
+bool assert_pred(sat::Solver& s, const aig::Aig& g, aig::Lit pred, bool positive,
+                 const std::vector<sat::Var>& var_of_input,
+                 const std::vector<sat::Var>& vars) {
+  if (pred == aig::kTrue) return positive;       // NOT true is unsat
+  if (pred == aig::kFalse) return !positive;     // assert false is unsat
+  cnf::TseitinEncoder enc(g, s, [&](aig::Var v) {
+    return sat::mk_lit(vars[var_of_input[g.input_index(v)]]);
+  });
+  sat::Lit e = enc.encode(pred, 0);
+  s.add_clause({positive ? e : sat::neg(e)});
+  return true;
+}
+
+/// Satisfiability of (clauses in [lo,hi]) AND each (pred, sign) pair.
+sat::Status query(const LabeledCnf& f, std::uint32_t lo, std::uint32_t hi,
+                  const aig::Aig& g,
+                  const std::vector<std::pair<aig::Lit, bool>>& preds,
+                  const std::vector<sat::Var>& var_of_input) {
+  sat::Solver s;
+  std::vector<sat::Var> vars;
+  vars.reserve(f.num_vars);
+  for (unsigned i = 0; i < f.num_vars; ++i) vars.push_back(s.new_var());
+  add_range(s, f, vars, lo, hi);
+  for (auto [p, positive] : preds)
+    if (!assert_pred(s, g, p, positive, var_of_input, vars))
+      return sat::Status::kUnsat;
+  return s.solve();
+}
+
+/// Shared variables at a cut: occurring both in labels <= cut and > cut.
+std::vector<bool> shared_vars(const LabeledCnf& f, std::uint32_t cut) {
+  std::vector<bool> in_a(f.num_vars, false), in_b(f.num_vars, false);
+  for (const auto& [lits, label] : f.clauses)
+    for (sat::Lit l : lits)
+      (label <= cut ? in_a : in_b)[sat::var(l)] = true;
+  std::vector<bool> shared(f.num_vars, false);
+  for (unsigned v = 0; v < f.num_vars; ++v) shared[v] = in_a[v] && in_b[v];
+  return shared;
+}
+
+std::uint32_t max_label(const LabeledCnf& f) {
+  std::uint32_t m = 0;
+  for (const auto& [lits, label] : f.clauses) m = std::max(m, label);
+  return m;
+}
+
+}  // namespace
+
+ValidationResult validate_interpolant(const LabeledCnf& f, std::uint32_t cut,
+                                      const aig::Aig& g, aig::Lit itp,
+                                      const std::vector<sat::Var>& var_of_input) {
+  ValidationResult res;
+  std::uint32_t last = max_label(f);
+
+  // Support condition.
+  std::vector<bool> shared = shared_vars(f, cut);
+  for (aig::Var v : g.support(itp)) {
+    std::size_t idx = g.input_index(v);
+    if (idx == aig::Aig::kNoIndex || idx >= var_of_input.size()) {
+      res.error = "interpolant support contains a non-input node";
+      return res;
+    }
+    sat::Var sv = var_of_input[idx];
+    if (sv >= f.num_vars || !shared[sv]) {
+      std::ostringstream os;
+      os << "interpolant depends on variable " << sv
+         << " which is not shared at cut " << cut;
+      res.error = os.str();
+      return res;
+    }
+  }
+  // A => I.
+  if (query(f, 0, cut, g, {{itp, false}}, var_of_input) != sat::Status::kUnsat) {
+    std::ostringstream os;
+    os << "A does not imply interpolant at cut " << cut;
+    res.error = os.str();
+    return res;
+  }
+  // I AND B unsat.
+  if (query(f, cut + 1, last, g, {{itp, true}}, var_of_input) !=
+      sat::Status::kUnsat) {
+    std::ostringstream os;
+    os << "interpolant consistent with B at cut " << cut;
+    res.error = os.str();
+    return res;
+  }
+  res.ok = true;
+  return res;
+}
+
+ValidationResult validate_sequence(const LabeledCnf& f, const aig::Aig& g,
+                                   const std::vector<aig::Lit>& terms,
+                                   const std::vector<sat::Var>& var_of_input) {
+  for (std::uint32_t j = 1; j <= terms.size(); ++j) {
+    ValidationResult r =
+        validate_interpolant(f, j, g, terms[j - 1], var_of_input);
+    if (!r.ok) return r;
+  }
+  // Chain condition (Definition 2): I_j AND A_{j+1} => I_{j+1}.
+  for (std::uint32_t j = 1; j + 1 <= terms.size(); ++j) {
+    if (query(f, j + 1, j + 1, g, {{terms[j - 1], true}, {terms[j], false}},
+              var_of_input) != sat::Status::kUnsat) {
+      ValidationResult r;
+      std::ostringstream os;
+      os << "sequence chain condition violated between terms " << j << " and "
+         << j + 1;
+      r.error = os.str();
+      return r;
+    }
+  }
+  ValidationResult r;
+  r.ok = true;
+  return r;
+}
+
+}  // namespace itpseq::itp

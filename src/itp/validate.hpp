@@ -1,0 +1,51 @@
+// validate.hpp — independent validation of interpolants and interpolation
+// sequences.
+//
+// Given the original partitioned clause set and an extracted interpolant (an
+// AIG predicate over shared variables), these helpers re-check the defining
+// conditions of the paper with fresh SAT calls:
+//
+//   Definition 1:  A => I,   I AND B unsat,   supp(I) within shared vars;
+//   Definition 2:  I_j AND A_{j+1} => I_{j+1}  for consecutive terms.
+//
+// Intended for debugging, regression tests and as a safety net in
+// high-assurance deployments (validation cost is usually far below the
+// original solving cost).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "sat/types.hpp"
+
+namespace itpseq::itp {
+
+/// A partitioned CNF: clauses over SAT variables 0..num_vars-1, each tagged
+/// with a partition label (1-based, as in the Γ sets of the paper).
+struct LabeledCnf {
+  unsigned num_vars = 0;
+  std::vector<std::pair<std::vector<sat::Lit>, std::uint32_t>> clauses;
+};
+
+/// Result of a validation query.
+struct ValidationResult {
+  bool ok = false;
+  std::string error;  // first violated condition, human-readable
+};
+
+/// Check Definition 1 for `itp` (a literal of `g`, whose input i stands for
+/// SAT variable var_of_input[i]) against the cut: A = labels <= cut,
+/// B = labels > cut.
+ValidationResult validate_interpolant(const LabeledCnf& f, std::uint32_t cut,
+                                      const aig::Aig& g, aig::Lit itp,
+                                      const std::vector<sat::Var>& var_of_input);
+
+/// Check Definitions 1 and 2 for a whole sequence: terms[j-1] is the
+/// interpolant for cut j, j = 1..terms.size().
+ValidationResult validate_sequence(const LabeledCnf& f, const aig::Aig& g,
+                                   const std::vector<aig::Lit>& terms,
+                                   const std::vector<sat::Var>& var_of_input);
+
+}  // namespace itpseq::itp

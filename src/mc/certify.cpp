@@ -1,0 +1,85 @@
+#include "mc/certify.hpp"
+
+#include "cnf/unroller.hpp"
+#include "sat/solver.hpp"
+
+namespace itpseq::mc {
+
+namespace {
+
+/// Encode `cert.root` over the latch values of frame `t`.
+sat::Lit encode_r(const Certificate& cert, cnf::Unroller& unr, unsigned t) {
+  return unr.encode_state_pred(cert.graph, cert.root, t, 0);
+}
+
+}  // namespace
+
+CertifyResult check_certificate(const aig::Aig& model, std::size_t prop,
+                                const Certificate& cert) {
+  CertifyResult res;
+  if (prop >= model.num_outputs()) {
+    res.error = "property index out of range";
+    return res;
+  }
+  if (cert.graph.num_inputs() < model.num_latches()) {
+    res.error = "certificate graph has fewer inputs than the model latches";
+    return res;
+  }
+
+  // C1: S0 AND NOT R unsat.
+  {
+    sat::Solver s;
+    cnf::Unroller unr(model, s);
+    unr.assert_init(0);
+    unr.assert_constraints(0, 0);
+    s.add_clause({sat::neg(encode_r(cert, unr, 0))});
+    if (s.solve() != sat::Status::kUnsat) {
+      res.error = "C1 violated: an initial state lies outside R";
+      return res;
+    }
+  }
+  // C2: S0 AND bad unsat.
+  {
+    sat::Solver s;
+    cnf::Unroller unr(model, s);
+    unr.assert_init(0);
+    unr.assert_constraints(0, 0);
+    s.add_clause({unr.bad_lit(0, 0, prop)});
+    if (s.solve() != sat::Status::kUnsat) {
+      res.error = "C2 violated: an initial state is bad";
+      return res;
+    }
+  }
+  // C3: R AND T AND NOT R' unsat.
+  {
+    sat::Solver s;
+    cnf::Unroller unr(model, s);
+    s.add_clause({encode_r(cert, unr, 0)});
+    unr.add_transition(0, 0);
+    unr.assert_constraints(0, 0);
+    unr.assert_constraints(1, 0);
+    s.add_clause({sat::neg(encode_r(cert, unr, 1))});
+    if (s.solve() != sat::Status::kUnsat) {
+      res.error = "C3 violated: R is not closed under the transition relation";
+      return res;
+    }
+  }
+  // C4: R AND T AND bad' unsat.
+  {
+    sat::Solver s;
+    cnf::Unroller unr(model, s);
+    s.add_clause({encode_r(cert, unr, 0)});
+    unr.add_transition(0, 0);
+    unr.assert_constraints(0, 0);
+    unr.assert_constraints(1, 0);
+    s.add_clause({unr.bad_lit(1, 0, prop)});
+    if (s.solve() != sat::Status::kUnsat) {
+      res.error = "C4 violated: a state of R has a bad successor";
+      return res;
+    }
+  }
+  res.ok = true;
+  return res;
+}
+
+}  // namespace itpseq::mc

@@ -1,0 +1,48 @@
+// certify.hpp — inductive-invariant certificates for PASS verdicts.
+//
+// A modern model checker should not just answer "PASS" — it should emit a
+// *checkable certificate*, so a downstream user does not have to trust the
+// engine's (considerable) internals.  The interpolation engines produce
+// one naturally: at the fixpoint, the accumulated state set
+//
+//   R = S0 ∨ ℐ_1 ∨ ... ∨ ℐ_{j-1}      (with ℐ_j ⇒ R)
+//
+// is closed under the transition relation and none of its states has a bad
+// successor.  R itself may contain (unreachable) bad states, so the actual
+// invariant is phi = R ∧ ¬bad; checking phi reduces to four *plain* SAT
+// queries over R (no quantifier elimination needed — see check_certificate):
+//
+//   C1:  S0 ∧ ¬R                    unsat   (initiation)
+//   C2:  S0 ∧ bad                   unsat   (initial safety)
+//   C3:  R ∧ T ∧ ¬R'                unsat   (consecution)
+//   C4:  R ∧ T ∧ bad'               unsat   (one-step safety)
+//
+// C1-C4 imply that phi = R ∧ ¬(∃inputs. bad) satisfies init ⇒ phi,
+// phi ∧ T ⇒ phi' and phi ⇒ ¬bad — a textbook inductive safety proof.
+// Invariant constraints of the model are assumed in every frame, matching
+// AIGER constrained-trace semantics.
+//
+// The checker shares the Unroller/Tseitin encoding with the engines but
+// runs fresh SAT solvers; for a fully independent audit, export R and the
+// model and discharge C1-C4 with an external solver.
+#pragma once
+
+#include <string>
+
+#include "aig/aig.hpp"
+#include "mc/result.hpp"
+
+namespace itpseq::mc {
+
+/// Result of a certificate check.
+struct CertifyResult {
+  bool ok = false;
+  std::string error;  // first violated condition, human-readable
+};
+
+/// Check conditions C1-C4 for `cert` (see Certificate in result.hpp:
+/// cert.graph's input i stands for model latch i).
+CertifyResult check_certificate(const aig::Aig& model, std::size_t prop,
+                                const Certificate& cert);
+
+}  // namespace itpseq::mc

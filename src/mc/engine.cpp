@@ -1,0 +1,117 @@
+#include "mc/engine.hpp"
+
+#include <algorithm>
+
+#include "aig/compact.hpp"
+
+namespace itpseq::mc {
+
+const char* to_string(Verdict v) {
+  switch (v) {
+    case Verdict::kPass:
+      return "PASS";
+    case Verdict::kFail:
+      return "FAIL";
+    case Verdict::kUnknown:
+      return "UNKNOWN";
+  }
+  return "?";
+}
+
+Engine::Engine(const aig::Aig& model, std::size_t prop, EngineOptions opts)
+    : model_(model), prop_(prop), opts_(opts), space_(model) {}
+
+EngineResult Engine::run() {
+  start_ = std::chrono::steady_clock::now();
+  EngineResult out;
+  out.engine = name();
+  if (!preliminary_checks(out)) execute(out);
+  out.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  out.stats.state_aig_nodes = space_.graph().num_ands();
+  return out;
+}
+
+double Engine::remaining() const {
+  double used =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  return std::max(0.0, opts_.time_limit_sec - used);
+}
+
+sat::Budget Engine::sat_budget() const {
+  sat::Budget b;
+  b.seconds = remaining();
+  return b;
+}
+
+bool Engine::preliminary_checks(EngineResult& out) {
+  if (prop_ >= model_.num_outputs()) {
+    out.verdict = Verdict::kPass;  // no bad output: vacuously safe
+    return true;
+  }
+  aig::Lit bad = model_.output(prop_);
+  if (bad == aig::kFalse) {
+    out.verdict = Verdict::kPass;
+    out.certificate = make_certificate(aig::kTrue);  // bad is constant false
+    return true;
+  }
+  // Depth-0 check: S0 AND bad(V^0).
+  sat::Solver solver;
+  cnf::Unroller unr(model_, solver);
+  unr.assert_init(0);
+  unr.assert_constraints(0, 0);
+  solver.add_clause({unr.bad_lit(0, 0, prop_)}, 0);
+  switch (solver.solve(sat_budget())) {
+    case sat::Status::kSat:
+      out.verdict = Verdict::kFail;
+      out.k_fp = 0;
+      out.cex = extract_trace(solver, unr, 0);
+      return true;
+    case sat::Status::kUnsat:
+      return false;  // continue with the main algorithm
+    case sat::Status::kUnknown:
+      out.verdict = Verdict::kUnknown;
+      return true;
+  }
+  return false;
+}
+
+Trace Engine::extract_trace(const sat::Solver& solver,
+                            const cnf::Unroller& unroller, unsigned k) const {
+  Trace t;
+  t.initial_latches.resize(model_.num_latches(), false);
+  for (std::size_t i = 0; i < model_.num_latches(); ++i) {
+    sat::Lit l = unroller.lookup(model_.latch(i), 0);
+    if (l != sat::kNoLit)
+      t.initial_latches[i] =
+          sat::lbool_xor(solver.model()[sat::var(l)], sat::sign(l)) ==
+          sat::LBool::kTrue;
+  }
+  for (unsigned f = 0; f <= k; ++f) {
+    std::vector<bool> in(model_.num_inputs(), false);
+    for (std::size_t i = 0; i < model_.num_inputs(); ++i) {
+      sat::Lit l = unroller.lookup(model_.input(i), f);
+      if (l != sat::kNoLit)
+        in[i] = sat::lbool_xor(solver.model()[sat::var(l)], sat::sign(l)) ==
+                sat::LBool::kTrue;
+    }
+    t.inputs.push_back(std::move(in));
+  }
+  return t;
+}
+
+Certificate Engine::make_certificate(aig::Lit r) const {
+  aig::CompactResult c = aig::compact(space_.graph(), {r});
+  return Certificate{std::move(c.graph), c.roots[0]};
+}
+
+void Engine::absorb_stats(EngineResult& out, const sat::Solver& solver) const {
+  ++out.stats.sat_calls;
+  out.stats.sat_conflicts += solver.stats().conflicts;
+  if (solver.proof_enabled() && solver.proof().complete())
+    out.stats.proof_clauses += solver.proof().core().size();
+}
+
+}  // namespace itpseq::mc

@@ -1,0 +1,80 @@
+// engine.hpp — base class for the unbounded model-checking engines.
+//
+// Concrete engines (Figs. 1, 2, 4 and 5 of the paper) share: the model and
+// property under check, the wall-clock budget, the symbolic state space for
+// interpolants, the depth-0 property check, and counterexample extraction
+// from a satisfiable BMC instance.
+#pragma once
+
+#include <chrono>
+#include <memory>
+
+#include "aig/aig.hpp"
+#include "cnf/unroller.hpp"
+#include "mc/result.hpp"
+#include "mc/state_space.hpp"
+#include "sat/solver.hpp"
+
+namespace itpseq::mc {
+
+class Engine {
+ public:
+  Engine(const aig::Aig& model, std::size_t prop, EngineOptions opts);
+  virtual ~Engine() = default;
+
+  /// Run to completion (or budget exhaustion).
+  EngineResult run();
+
+  virtual const char* name() const = 0;
+
+  const EngineOptions& options() const { return opts_; }
+
+ protected:
+  /// Engine-specific algorithm; `out` pre-filled with engine name.
+  virtual void execute(EngineResult& out) = 0;
+
+  /// Seconds left in the budget (>= 0).
+  double remaining() const;
+  bool out_of_time() const { return remaining() <= 0.0; }
+  /// SAT budget covering the remaining engine time.
+  sat::Budget sat_budget() const;
+
+  /// Handles trivial properties and the depth-0 check (S0 AND bad(V^0)).
+  /// Returns true when the verdict is already decided (out is filled).
+  bool preliminary_checks(EngineResult& out);
+
+  /// Read a counterexample of depth k out of a satisfied solver/unrolling.
+  Trace extract_trace(const sat::Solver& solver, const cnf::Unroller& unroller,
+                      unsigned k) const;
+
+  /// Merge solver statistics into the running result.
+  void absorb_stats(EngineResult& out, const sat::Solver& solver) const;
+
+  /// Build a PASS certificate from a state-set literal of space_.graph()
+  /// (see mc/certify.hpp for the conditions the caller guarantees).
+  Certificate make_certificate(aig::Lit r) const;
+
+  const aig::Aig& model_;
+  std::size_t prop_;
+  EngineOptions opts_;
+  StateSpace space_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Convenience: run one engine configuration on a model.
+EngineResult check_itp(const aig::Aig& model, std::size_t prop,
+                       const EngineOptions& opts = {});
+EngineResult check_itpseq(const aig::Aig& model, std::size_t prop,
+                          const EngineOptions& opts = {});
+EngineResult check_sitpseq(const aig::Aig& model, std::size_t prop,
+                           EngineOptions opts = {});
+EngineResult check_itpseq_cba(const aig::Aig& model, std::size_t prop,
+                              EngineOptions opts = {});
+EngineResult check_itpseq_pba(const aig::Aig& model, std::size_t prop,
+                              const EngineOptions& opts = {});
+EngineResult check_itpseq_cba_pba(const aig::Aig& model, std::size_t prop,
+                                  EngineOptions opts = {});
+EngineResult check_bmc(const aig::Aig& model, std::size_t prop,
+                       const EngineOptions& opts = {});
+
+}  // namespace itpseq::mc

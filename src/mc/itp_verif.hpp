@@ -1,0 +1,30 @@
+// itp_verif.hpp — standard interpolation-based UMC (McMillan), Fig. 1.
+//
+// Outer loop over the BMC bound k; inner loop computes a chain of
+// interpolants I_1, I_2, ... where I_{j+1} = ITP(I_j AND T, B) and
+// B = T^{k-1} AND (bad at some frame 1..k)  — the *bound-k* target that
+// standard interpolation requires for soundness (Section III).  The inner
+// loop terminates with PASS when I_j implies the union R_{j-1} of all
+// previous state sets (fixpoint), or restarts with k+1 when the
+// over-approximate instance becomes satisfiable.  FAIL is only reported
+// from the first inner iteration, whose A-side is the exact initial-state
+// set.
+#pragma once
+
+#include "mc/engine.hpp"
+
+namespace itpseq::mc {
+
+class ItpVerifEngine : public Engine {
+ public:
+  ItpVerifEngine(const aig::Aig& model, std::size_t prop, EngineOptions opts)
+      : Engine(model, prop, opts) {}
+  const char* name() const override {
+    return opts_.itp_partitioned ? "ITP-PART" : "ITP";
+  }
+
+ protected:
+  void execute(EngineResult& out) override;
+};
+
+}  // namespace itpseq::mc

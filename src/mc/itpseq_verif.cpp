@@ -1,0 +1,421 @@
+#include "mc/itpseq_verif.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "itp/interpolate.hpp"
+#include "mc/sim.hpp"
+#include "opt/fraig.hpp"
+
+namespace itpseq::mc {
+
+const char* to_string(AbstractionMode m) {
+  switch (m) {
+    case AbstractionMode::kNone: return "none";
+    case AbstractionMode::kCba: return "cba";
+    case AbstractionMode::kPba: return "pba";
+    case AbstractionMode::kCbaPba: return "cba+pba";
+  }
+  return "?";
+}
+
+ItpSeqEngine::ItpSeqEngine(const aig::Aig& model, std::size_t prop,
+                           EngineOptions opts, AbstractionMode mode)
+    : Engine(model, prop, opts), mode_(mode) {
+  // Latches in the property's direct combinational support.  Every
+  // abstraction keeps these visible: the soundness of the fixpoint check
+  // (R_0 = init_pred over visible latches, which must exclude bad states)
+  // relies on the bad signal being a function of visible latches only.
+  prop_support_.assign(model.num_latches(), false);
+  if (prop < model.num_outputs())
+    for (aig::Var v : model.support(model.output(prop))) {
+      std::size_t idx = model.latch_index(v);
+      if (idx != aig::Aig::kNoIndex) prop_support_[idx] = true;
+    }
+  if (mode_ == AbstractionMode::kCba || mode_ == AbstractionMode::kCbaPba) {
+    // Initial abstraction: exactly the property support.
+    visible_ = prop_support_;
+  }
+}
+
+const char* ItpSeqEngine::name() const {
+  switch (mode_) {
+    case AbstractionMode::kCba: return "ITPSEQCBA";
+    case AbstractionMode::kPba: return "ITPSEQPBA";
+    case AbstractionMode::kCbaPba: return "ITPSEQCBAPBA";
+    case AbstractionMode::kNone: break;
+  }
+  if (opts_.serial_dynamic) return "SITPSEQ-DYN";
+  return opts_.serial_alpha > 0.0 ? "SITPSEQ" : "ITPSEQ";
+}
+
+ItpSeqEngine::ShiftedSolve ItpSeqEngine::solve_shifted(aig::Lit start,
+                                                       unsigned local_k,
+                                                       EngineResult& out,
+                                                       bool concrete) {
+  ShiftedSolve s;
+  s.solver = std::make_unique<sat::Solver>();
+  s.solver->enable_proof();
+  s.unroller = std::make_unique<cnf::Unroller>(
+      model_, *s.solver, concrete ? std::vector<bool>{} : visible_);
+  cnf::Unroller& unr = *s.unroller;
+
+  // A_1: initial set and first transition (label 1).
+  if (start == aig::kNullLit) {
+    unr.assert_init(1);
+  } else if (start != aig::kTrue) {
+    sat::Lit fl = unr.encode_state_pred(space_.graph(), start, 0, 1);
+    s.solver->add_clause({fl}, 1);
+  }
+  // A_i = T(V^{i-1}, V^i) with label i.
+  for (unsigned t = 0; t < local_k; ++t) unr.add_transition(t, t + 1);
+  // Invariant constraints hold in every frame; frame-t logic carries the
+  // label of partition t+1.
+  for (unsigned t = 0; t <= local_k; ++t)
+    unr.assert_constraints(t, std::min(t + 1, local_k + 1));
+
+  // Target.  CBA follows Fig. 5 and uses exact-k; otherwise the configured
+  // scheme decides whether intermediate "good" constraints are added
+  // (assume-k) or not (exact-k).  bound-k is not meaningful for sequences.
+  bool cba_like =
+      mode_ == AbstractionMode::kCba || mode_ == AbstractionMode::kCbaPba;
+  bool assume = !cba_like && opts_.scheme == cnf::TargetScheme::kExactAssume;
+  if (assume)
+    for (unsigned t = 1; t < local_k; ++t)
+      s.solver->add_clause({sat::neg(unr.bad_lit(t, t + 1, prop_))}, t + 1);
+  s.solver->add_clause({unr.bad_lit(local_k, local_k + 1, prop_)}, local_k + 1);
+
+  s.status = s.solver->solve(sat_budget());
+  absorb_stats(out, *s.solver);
+  return s;
+}
+
+std::vector<aig::Lit> ItpSeqEngine::extract_terms(const ShiftedSolve& s,
+                                                  unsigned last_cut) {
+  aig::Aig& G = space_.graph();
+  itp::InterpolantExtractor ex(s.solver->proof());
+  // Leaf maps: for cut c the shared variables are the frame-c latch vars.
+  std::vector<std::unordered_map<sat::Var, aig::Lit>> leaf(last_cut + 1);
+  for (unsigned c = 1; c <= last_cut; ++c)
+    for (std::size_t i = 0; i < model_.num_latches(); ++i) {
+      sat::Lit sl = s.unroller->lookup(model_.latch(i), c);
+      if (sl != sat::kNoLit)
+        leaf[c][sat::var(sl)] =
+            aig::lit_xor(space_.latch_input(i), sat::sign(sl));
+    }
+  return ex.extract_sequence(
+      G, 1, last_cut,
+      [&](std::uint32_t cut, sat::Var v) {
+        auto it = leaf[cut].find(v);
+        return it == leaf[cut].end() ? aig::kNullLit : it->second;
+      },
+      opts_.itp_system);
+}
+
+std::vector<bool> ItpSeqEngine::pba_needed(const ShiftedSolve& s,
+                                           unsigned k) const {
+  // Variables mentioned by original clauses of the refutation core.
+  std::vector<char> used;
+  const sat::Proof& proof = s.solver->proof();
+  for (sat::ClauseId id : proof.core()) {
+    if (!proof.is_original(id)) continue;
+    for (sat::Lit l : proof.literals(id)) {
+      sat::Var v = sat::var(l);
+      if (v >= used.size()) used.resize(v + 1, 0);
+      used[v] = 1;
+    }
+  }
+  // A latch is needed iff any of its frame variables is used.  (Frame
+  // variables are per-latch fresh SAT variables by construction, so this
+  // mapping is exact.)  Property-support latches are always needed — see
+  // the constructor comment on fixpoint soundness.
+  std::vector<bool> needed = prop_support_;
+  for (std::size_t i = 0; i < model_.num_latches(); ++i)
+    for (unsigned t = 0; t <= k && !needed[i]; ++t) {
+      sat::Lit sl = s.unroller->lookup(model_.latch(i), t);
+      if (sl != sat::kNoLit && sat::var(sl) < used.size() &&
+          used[sat::var(sl)])
+        needed[i] = true;
+    }
+  return needed;
+}
+
+bool ItpSeqEngine::extend_or_refine(const ShiftedSolve& s, unsigned k,
+                                    EngineResult& out, bool& refined) {
+  refined = false;
+  // Abstract counterexample: inputs and frame-0 free-latch values.
+  Trace abs = extract_trace(*s.solver, *s.unroller, k);
+  // EXTEND: replay on the concrete model from the concrete reset state.
+  Simulator sim(model_, prop_);
+  Trace concrete = abs;  // initial_latches only consulted for undef resets
+  SimFrames frames = sim.run(concrete);
+  if (frames.is_cex()) {
+    out.verdict = Verdict::kFail;
+    out.k_fp = k;
+    out.j_fp = 0;
+    out.cex = std::move(concrete);
+    out.stats.cba_visible_latches = static_cast<unsigned>(
+        std::count(visible_.begin(), visible_.end(), true));
+    return true;
+  }
+  // REFINE: make visible an invisible latch whose abstract values diverge
+  // from the concrete replay.  Candidates are restricted to the *frontier*
+  // of the current abstraction — invisible latches feeding the property
+  // cone or the next-state logic of visible latches — so refinement walks
+  // the property's cone of influence instead of pulling in bulk logic.
+  std::vector<bool> frontier(model_.num_latches(), false);
+  {
+    std::vector<aig::Lit> roots;
+    if (prop_ < model_.num_outputs()) roots.push_back(model_.output(prop_));
+    for (std::size_t i = 0; i < model_.num_latches(); ++i)
+      if (visible_[i]) roots.push_back(model_.latch_next(i));
+    for (aig::Var v : model_.cone(roots)) {
+      std::size_t idx = model_.latch_index(v);
+      if (idx != aig::Aig::kNoIndex && !visible_[idx]) frontier[idx] = true;
+    }
+  }
+  auto divergence = [&](std::size_t i) {
+    unsigned score = 0;
+    for (unsigned t = 0; t <= k; ++t) {
+      sat::Lit sl = s.unroller->lookup(model_.latch(i), t);
+      if (sl == sat::kNoLit) continue;
+      bool abs_val =
+          sat::lbool_xor(s.solver->model()[sat::var(sl)], sat::sign(sl)) ==
+          sat::LBool::kTrue;
+      if (abs_val != frames.latches[t][i]) ++score;
+    }
+    return score;
+  };
+  std::size_t best = aig::Aig::kNoIndex;
+  unsigned best_score = 0;
+  for (int pass = 0; pass < 2 && best == aig::Aig::kNoIndex; ++pass) {
+    // Pass 0: diverging frontier latches.  Pass 1 (fallback): any diverging
+    // invisible latch, then any frontier latch at all.
+    for (std::size_t i = 0; i < model_.num_latches(); ++i) {
+      if (visible_[i]) continue;
+      if (pass == 0 && !frontier[i]) continue;
+      unsigned score = divergence(i);
+      if (pass == 0 && score == 0) continue;
+      if (best == aig::Aig::kNoIndex || score > best_score) {
+        best = i;
+        best_score = score;
+      }
+    }
+  }
+  if (best == aig::Aig::kNoIndex) return false;  // fully concrete already
+  visible_[best] = true;
+  refined = true;
+  ++out.stats.cba_refinements;
+  return false;
+}
+
+void ItpSeqEngine::execute(EngineResult& out) {
+  aig::Aig& G = space_.graph();
+  calI_.assign(1, aig::kNullLit);  // index 0 unused
+
+  for (unsigned k = 1; k <= opts_.max_bound; ++k) {
+    out.k_fp = k;
+    if (out_of_time()) {
+      out.verdict = Verdict::kUnknown;
+      return;
+    }
+
+    // Bound the growth of the interpolant store: rebuild the state-set AIG
+    // keeping only the live matrix columns.
+    if (opts_.compact_threshold > 0 &&
+        G.num_ands() > opts_.compact_threshold) {
+      std::vector<aig::Lit*> roots;
+      for (unsigned j = 1; j < calI_.size(); ++j) roots.push_back(&calI_[j]);
+      space_.compact(std::move(roots));
+    }
+
+    // --- BMC check at bound k (with abstraction handling) ---------------
+    const bool cba = mode_ == AbstractionMode::kCba ||
+                     mode_ == AbstractionMode::kCbaPba;
+    ShiftedSolve first;
+    if (mode_ == AbstractionMode::kPba) {
+      // PBA: the concrete check decides SAT/UNSAT; its proof core sizes the
+      // abstraction used for extraction.
+      ShiftedSolve conc = solve_shifted(aig::kNullLit, k, out,
+                                        /*concrete=*/true);
+      if (conc.status == sat::Status::kUnknown) {
+        out.verdict = Verdict::kUnknown;
+        return;
+      }
+      if (conc.status == sat::Status::kSat) {
+        out.verdict = Verdict::kFail;
+        out.k_fp = k;
+        out.j_fp = 0;
+        out.cex = extract_trace(*conc.solver, *conc.unroller, k);
+        return;
+      }
+      visible_ = pba_needed(conc, k);
+      first = solve_shifted(aig::kNullLit, k, out);
+      if (first.status != sat::Status::kUnsat) {
+        // Variable-granular PBA was too coarse for this bound (or the
+        // re-solve ran out of budget): extract from the concrete proof.
+        visible_.clear();
+        first = std::move(conc);
+      }
+      ++out.stats.cba_refinements;  // counts PBA recomputations
+    } else {
+      first = solve_shifted(aig::kNullLit, k, out);
+      while (cba && first.status == sat::Status::kSat) {
+        bool refined = false;
+        if (extend_or_refine(first, k, out, refined)) return;  // real FAIL
+        if (!refined) break;  // concrete model, genuine SAT
+        if (out.stats.cba_refinements > opts_.cba_refine_limit ||
+            out_of_time()) {
+          out.verdict = Verdict::kUnknown;
+          return;
+        }
+        first = solve_shifted(aig::kNullLit, k, out);
+      }
+      if (first.status == sat::Status::kUnsat &&
+          mode_ == AbstractionMode::kCbaPba) {
+        // PBA shrink: drop visible latches the refutation never used, then
+        // re-solve on the smaller abstraction for extraction ([13]-style
+        // grow/shrink alternation).
+        std::vector<bool> grown = visible_;
+        std::vector<bool> needed = pba_needed(first, k);
+        bool shrunk = false;
+        for (std::size_t i = 0; i < visible_.size(); ++i) {
+          bool keep = visible_[i] && needed[i];
+          shrunk |= keep != visible_[i];
+          visible_[i] = keep;
+        }
+        if (shrunk) {
+          ShiftedSolve s2 = solve_shifted(aig::kNullLit, k, out);
+          if (s2.status == sat::Status::kUnsat) {
+            first = std::move(s2);
+          } else {
+            visible_ = std::move(grown);  // corner case: keep the CBA set
+          }
+        }
+      }
+    }
+    if (!visible_.empty())
+      out.stats.cba_visible_latches = static_cast<unsigned>(
+          std::count(visible_.begin(), visible_.end(), true));
+    if (first.status == sat::Status::kUnknown) {
+      out.verdict = Verdict::kUnknown;
+      return;
+    }
+    if (first.status == sat::Status::kSat) {
+      out.verdict = Verdict::kFail;
+      out.k_fp = k;
+      out.j_fp = 0;
+      out.cex = extract_trace(*first.solver, *first.unroller, k);
+      return;
+    }
+
+    // --- sequence construction (Fig. 4) ----------------------------------
+    std::vector<aig::Lit> terms(k + 1, aig::kNullLit);  // terms[j], j=1..k
+    unsigned ns;
+    if (opts_.serial_dynamic) {
+      // Dynamic strategy (Section IV-C): serialize as long as terms stay
+      // small; the per-term size check below stops the prefix early.
+      ns = k;
+    } else {
+      ns = static_cast<unsigned>(
+          std::floor(opts_.serial_alpha * static_cast<double>(k + 1)));
+      if (ns > k) ns = k;
+    }
+    bool fallback = false;
+
+    if (ns == 0) {
+      // Pure parallel: the whole sequence from the one proof (Eq. 2).
+      std::vector<aig::Lit> seq = extract_terms(first, k);
+      for (unsigned j = 1; j <= k; ++j) terms[j] = seq[j - 1];
+    } else {
+      // Serial prefix (Eq. 3).  The first term's defining problem is
+      // exactly the original BMC check, so its proof is reused.
+      {
+        std::vector<aig::Lit> seq = extract_terms(first, 1);
+        terms[1] = seq[0];
+      }
+      if (opts_.serial_dynamic && G.cone_size(terms[1]) > opts_.serial_size_limit)
+        ns = 1;
+      for (unsigned j = 2; j <= ns && !fallback; ++j) {
+        ShiftedSolve s = solve_shifted(terms[j - 1], k - (j - 1), out);
+        if (s.status == sat::Status::kUnknown) {
+          out.verdict = Verdict::kUnknown;
+          return;
+        }
+        if (s.status == sat::Status::kSat) {
+          fallback = true;  // over-approximation made the target reachable
+          break;
+        }
+        std::vector<aig::Lit> seq = extract_terms(s, 1);
+        terms[j] = seq[0];
+        if (opts_.serial_dynamic &&
+            G.cone_size(terms[j]) > opts_.serial_size_limit) {
+          ns = j;  // stop serializing, finish with the parallel suffix
+          break;
+        }
+      }
+      if (!fallback && ns < k) {
+        // Parallel suffix from one more proof (Fig. 4, last line).
+        ShiftedSolve s = solve_shifted(terms[ns], k - ns, out);
+        if (s.status == sat::Status::kUnknown) {
+          out.verdict = Verdict::kUnknown;
+          return;
+        }
+        if (s.status == sat::Status::kSat) {
+          fallback = true;
+        } else {
+          std::vector<aig::Lit> seq = extract_terms(s, k - ns);
+          for (unsigned c = 1; c <= k - ns; ++c) terms[ns + c] = seq[c - 1];
+        }
+      }
+      if (fallback) {
+        std::vector<aig::Lit> seq = extract_terms(first, k);
+        for (unsigned j = 1; j <= k; ++j) terms[j] = seq[j - 1];
+      }
+    }
+
+    if (opts_.fraig_interpolants) {
+      // SAT-sweep the freshly extracted terms; the swept cones are imported
+      // back into the (strashed) state-set graph.
+      std::vector<aig::Lit> roots(terms.begin() + 1, terms.end());
+      opt::FraigOptions fo;
+      fo.max_conflicts = opts_.fraig_conflicts;
+      opt::FraigResult fr = opt::fraig(G, roots, fo);
+      std::vector<aig::Lit> leaf_map(fr.graph.num_vars(), aig::kNullLit);
+      for (std::size_t i = 0; i < fr.graph.num_inputs(); ++i)
+        leaf_map[aig::lit_var(fr.graph.input(i))] = space_.latch_input(i);
+      for (unsigned j = 1; j <= k; ++j)
+        terms[j] = G.import_cone(fr.graph, fr.roots[j - 1], leaf_map);
+    }
+
+    for (unsigned j = 1; j <= k; ++j)
+      out.stats.max_itp_nodes =
+          std::max(out.stats.max_itp_nodes, G.cone_size(terms[j]));
+
+    // --- matrix update and fixpoint checks (Fig. 2) ----------------------
+    calI_.resize(k + 1, aig::kTrue);
+    for (unsigned j = 1; j < k; ++j) calI_[j] = G.make_and(calI_[j], terms[j]);
+    calI_[k] = terms[k];
+
+    aig::Lit R = space_.init_pred(visible_);
+    for (unsigned j = 1; j <= k; ++j) {
+      Implication imp = space_.implies(calI_[j], R, remaining());
+      if (imp == Implication::kHolds) {
+        out.verdict = Verdict::kPass;
+        out.k_fp = k;
+        out.j_fp = j;
+        out.certificate = make_certificate(R);
+        return;
+      }
+      if (imp == Implication::kUnknown) {
+        out.verdict = Verdict::kUnknown;
+        return;
+      }
+      R = G.make_or(R, calI_[j]);
+    }
+  }
+  out.verdict = Verdict::kUnknown;
+}
+
+}  // namespace itpseq::mc

@@ -1,0 +1,40 @@
+// kinduction.hpp — temporal induction (k-induction) engine.
+//
+// The classic SAT-based proof engine (Sheeran-Singh-Stålmarck) included as
+// a portfolio baseline alongside the interpolation engines:
+//
+//   base(k):  S0 ∧ T^k ∧ ¬p(V^k)                       SAT -> FAIL
+//   step(k):  T^{k+1} ∧ p(V^0..k) ∧ ¬p(V^{k+1})         UNSAT -> PASS
+//
+// The step case runs on the *uninitialized* unrolling.  With the
+// unique-states ("simple path") constraints enabled the method is complete:
+// it terminates at the recurrence diameter.
+#pragma once
+
+#include "mc/engine.hpp"
+
+namespace itpseq::mc {
+
+class KInductionEngine : public Engine {
+ public:
+  KInductionEngine(const aig::Aig& model, std::size_t prop, EngineOptions opts,
+                   bool unique_states = true)
+      : Engine(model, prop, opts), unique_states_(unique_states) {}
+  const char* name() const override { return "KIND"; }
+
+ protected:
+  void execute(EngineResult& out) override;
+
+ private:
+  /// Clause "states at frames i and j differ in some latch".
+  void add_distinct(sat::Solver& solver, cnf::Unroller& unr, unsigned i,
+                    unsigned j);
+
+  bool unique_states_;
+};
+
+/// Convenience wrapper.
+EngineResult check_kinduction(const aig::Aig& model, std::size_t prop,
+                              const EngineOptions& opts = {});
+
+}  // namespace itpseq::mc

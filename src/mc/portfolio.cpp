@@ -1,0 +1,204 @@
+#include "mc/portfolio.hpp"
+
+#include <chrono>
+
+#include "mc/kinduction.hpp"
+#include "mc/sim.hpp"
+
+namespace itpseq::mc {
+
+const char* to_string(PortfolioMember m) {
+  switch (m) {
+    case PortfolioMember::kRandomSim:
+      return "RANDOM-SIM";
+    case PortfolioMember::kBmc:
+      return "BMC";
+    case PortfolioMember::kItp:
+      return "ITP";
+    case PortfolioMember::kItpPartitioned:
+      return "ITP-PART";
+    case PortfolioMember::kItpSeq:
+      return "ITPSEQ";
+    case PortfolioMember::kSItpSeq:
+      return "SITPSEQ";
+    case PortfolioMember::kItpSeqCba:
+      return "ITPSEQCBA";
+    case PortfolioMember::kKInduction:
+      return "KIND";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Simple xorshift64 for reproducible word streams.
+std::uint64_t next_word(std::uint64_t& state) {
+  state ^= state << 13;
+  state ^= state >> 7;
+  state ^= state << 17;
+  return state;
+}
+
+}  // namespace
+
+EngineResult check_random_sim(const aig::Aig& model, std::size_t prop,
+                              unsigned depth, unsigned rounds,
+                              std::uint64_t seed) {
+  auto t0 = std::chrono::steady_clock::now();
+  EngineResult out;
+  out.engine = "RANDOM-SIM";
+  out.verdict = Verdict::kUnknown;
+  std::uint64_t rng = seed ? seed : 1;
+
+  if (prop >= model.num_outputs()) {
+    out.verdict = Verdict::kPass;
+    return out;
+  }
+  // Topological order over the cone of all next-state functions + bad.
+  std::vector<aig::Lit> roots;
+  for (std::size_t i = 0; i < model.num_latches(); ++i)
+    roots.push_back(model.latch_next(i));
+  roots.push_back(model.output(prop));
+  for (std::size_t i = 0; i < model.num_constraints(); ++i)
+    roots.push_back(model.constraint(i));
+  std::vector<aig::Var> order = model.cone(roots);
+
+  std::vector<std::uint64_t> val(model.num_vars(), 0);
+  auto lit_word = [&](aig::Lit l) {
+    std::uint64_t base = aig::lit_var(l) == 0 ? 0ull : val[aig::lit_var(l)];
+    return base ^ (aig::lit_sign(l) ? ~0ull : 0ull);
+  };
+
+  for (unsigned round = 0; round < rounds; ++round) {
+    // Initial latch words.
+    std::vector<std::uint64_t> init_words(model.num_latches());
+    for (std::size_t i = 0; i < model.num_latches(); ++i) {
+      switch (model.latch_init(i)) {
+        case aig::LatchInit::kZero:
+          init_words[i] = 0;
+          break;
+        case aig::LatchInit::kOne:
+          init_words[i] = ~0ull;
+          break;
+        case aig::LatchInit::kUndef:
+          init_words[i] = next_word(rng);
+          break;
+      }
+      val[aig::lit_var(model.latch(i))] = init_words[i];
+    }
+    std::vector<std::vector<std::uint64_t>> input_words;
+    std::uint64_t valid = ~0ull;  // lanes where constraints held so far
+
+    for (unsigned t = 0; t <= depth; ++t) {
+      input_words.emplace_back(model.num_inputs());
+      for (std::size_t i = 0; i < model.num_inputs(); ++i) {
+        input_words.back()[i] = next_word(rng);
+        val[aig::lit_var(model.input(i))] = input_words.back()[i];
+      }
+      for (aig::Var v : order) {
+        const aig::Node& n = model.node(v);
+        if (n.type == aig::NodeType::kAnd)
+          val[v] = lit_word(n.fanin0) & lit_word(n.fanin1);
+      }
+      for (std::size_t i = 0; i < model.num_constraints(); ++i)
+        valid &= lit_word(model.constraint(i));
+      std::uint64_t bad = lit_word(model.output(prop)) & valid;
+      if (bad) {
+        // Extract the failing lane into a concrete trace.
+        unsigned lane = 0;
+        while (!((bad >> lane) & 1)) ++lane;
+        Trace trace;
+        trace.initial_latches.resize(model.num_latches());
+        for (std::size_t i = 0; i < model.num_latches(); ++i)
+          trace.initial_latches[i] = (init_words[i] >> lane) & 1;
+        for (unsigned f = 0; f <= t; ++f) {
+          std::vector<bool> in(model.num_inputs());
+          for (std::size_t i = 0; i < model.num_inputs(); ++i)
+            in[i] = (input_words[f][i] >> lane) & 1;
+          trace.inputs.push_back(std::move(in));
+        }
+        out.verdict = Verdict::kFail;
+        out.k_fp = t;
+        out.cex = std::move(trace);
+        out.seconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+        return out;
+      }
+      // Advance latches.
+      std::vector<std::uint64_t> next(model.num_latches());
+      for (std::size_t i = 0; i < model.num_latches(); ++i)
+        next[i] = lit_word(model.latch_next(i));
+      for (std::size_t i = 0; i < model.num_latches(); ++i)
+        val[aig::lit_var(model.latch(i))] = next[i];
+    }
+  }
+  out.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return out;
+}
+
+EngineResult check_portfolio(const aig::Aig& model, std::size_t prop,
+                             const PortfolioOptions& opts) {
+  auto t0 = std::chrono::steady_clock::now();
+  auto elapsed = [&] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+  EngineResult last;
+  last.engine = "portfolio";
+  last.verdict = Verdict::kUnknown;
+
+  double slice = opts.slice_seconds;
+  while (elapsed() < opts.time_limit_sec) {
+    for (PortfolioMember m : opts.members) {
+      double budget = std::min(slice, opts.time_limit_sec - elapsed());
+      if (budget <= 0) break;
+      EngineOptions eo = opts.engine_defaults;
+      eo.time_limit_sec = budget;
+      EngineResult r;
+      switch (m) {
+        case PortfolioMember::kRandomSim:
+          r = check_random_sim(model, prop,
+                               /*depth=*/64,
+                               /*rounds=*/static_cast<unsigned>(8 * slice) + 1);
+          break;
+        case PortfolioMember::kBmc:
+          r = check_bmc(model, prop, eo);
+          break;
+        case PortfolioMember::kItp:
+          r = check_itp(model, prop, eo);
+          break;
+        case PortfolioMember::kItpPartitioned:
+          eo.itp_partitioned = true;
+          r = check_itp(model, prop, eo);
+          break;
+        case PortfolioMember::kItpSeq:
+          r = check_itpseq(model, prop, eo);
+          break;
+        case PortfolioMember::kSItpSeq:
+          r = check_sitpseq(model, prop, eo);
+          break;
+        case PortfolioMember::kItpSeqCba:
+          r = check_itpseq_cba(model, prop, eo);
+          break;
+        case PortfolioMember::kKInduction:
+          r = check_kinduction(model, prop, eo);
+          break;
+      }
+      if (r.verdict != Verdict::kUnknown) {
+        r.engine = std::string("portfolio/") + to_string(m);
+        r.seconds = elapsed();
+        return r;
+      }
+      last = r;
+    }
+    slice *= 2.0;
+  }
+  last.engine = "portfolio";
+  last.seconds = elapsed();
+  return last;
+}
+
+}  // namespace itpseq::mc

@@ -1,0 +1,54 @@
+// portfolio.hpp — a portfolio of model-checking engines.
+//
+// The paper positions ITPSEQ as "an additional engine within a potential
+// portfolio of available MC techniques" (Section IV).  This engine realizes
+// that: it schedules a configurable list of member engines round-robin with
+// growing per-slice budgets until one of them produces a definite verdict.
+// Random simulation can be used as a cheap pre-pass to catch shallow
+// failures before any SAT work.
+#pragma once
+
+#include <vector>
+
+#include "mc/engine.hpp"
+
+namespace itpseq::mc {
+
+/// Member engines available to the portfolio.
+enum class PortfolioMember : std::uint8_t {
+  kRandomSim,  ///< 64-way random simulation (falsification only)
+  kBmc,        ///< plain BMC (falsification only)
+  kItp,        ///< standard interpolation (Fig. 1)
+  kItpPartitioned,
+  kItpSeq,     ///< parallel sequences (Fig. 2)
+  kSItpSeq,    ///< serial sequences, alpha = 0.5 (Fig. 4)
+  kItpSeqCba,  ///< sequences + abstraction (Fig. 5)
+  kKInduction, ///< temporal induction baseline
+};
+
+const char* to_string(PortfolioMember m);
+
+struct PortfolioOptions {
+  /// Schedule, in order; each round every member gets `slice_seconds`,
+  /// doubled each round, until `time_limit_sec` is exhausted.
+  std::vector<PortfolioMember> members = {
+      PortfolioMember::kRandomSim, PortfolioMember::kItp,
+      PortfolioMember::kSItpSeq, PortfolioMember::kItpSeqCba};
+  double slice_seconds = 1.0;
+  double time_limit_sec = 60.0;
+  EngineOptions engine_defaults;
+};
+
+/// Run the portfolio; the winning member's name is recorded in
+/// EngineResult::engine (prefixed with "portfolio/").
+EngineResult check_portfolio(const aig::Aig& model, std::size_t prop,
+                             const PortfolioOptions& opts = {});
+
+/// Pure random-simulation falsifier: simulates `rounds` batches of 64
+/// random input sequences of length `depth`; FAIL with a replayable trace
+/// or UNKNOWN (never PASS).
+EngineResult check_random_sim(const aig::Aig& model, std::size_t prop,
+                              unsigned depth, unsigned rounds,
+                              std::uint64_t seed = 1);
+
+}  // namespace itpseq::mc

@@ -1,0 +1,112 @@
+// result.hpp — common result/option types for model-checking engines.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cnf/unroller.hpp"
+#include "itp/interpolate.hpp"
+
+namespace itpseq::mc {
+
+/// A PASS certificate: `root` is a predicate over `graph`, whose input i
+/// stands for model latch i.  The set R it denotes satisfies the four
+/// conditions documented in mc/certify.hpp, making R AND NOT bad an
+/// inductive safety invariant.
+struct Certificate {
+  aig::Aig graph;
+  aig::Lit root = aig::kTrue;
+};
+
+enum class Verdict : std::uint8_t {
+  kPass,     ///< property proved
+  kFail,     ///< counterexample found
+  kUnknown,  ///< resource budget exhausted ("ovf" in Table I terms)
+};
+
+const char* to_string(Verdict v);
+
+/// A concrete counterexample: initial latch values plus one input vector per
+/// time frame.  The trace has frames 0..depth(); the bad output is 1 at
+/// frame depth() (after depth() transitions).
+struct Trace {
+  std::vector<bool> initial_latches;        // indexed by latch
+  std::vector<std::vector<bool>> inputs;    // [frame][input], depth()+1 frames
+  unsigned depth() const {
+    return inputs.empty() ? 0 : static_cast<unsigned>(inputs.size()) - 1;
+  }
+};
+
+/// Knobs shared by all engines.
+struct EngineOptions {
+  double time_limit_sec = 60.0;   ///< total wall-clock budget
+  unsigned max_bound = 500;       ///< give up beyond this BMC bound
+  /// BMC check formulation for sequence engines (Section III).
+  cnf::TargetScheme scheme = cnf::TargetScheme::kExactAssume;
+  /// Labeled interpolation system used to extract interpolants.  McMillan
+  /// is the paper's system; Pudlak / inverse McMillan give progressively
+  /// weaker (larger) state sets from the same proofs.
+  itp::System itp_system = itp::System::kMcMillan;
+  /// Serial fraction alpha_s of Fig. 4: 0 = parallel ITPSEQ,
+  /// 1 = fully serial; the paper's SITPSEQ uses 0.5.
+  double serial_alpha = 0.0;
+  /// Dynamic serialization (Section IV-C mentions dynamic intermediate
+  /// strategies): serialize while terms stay below serial_size_limit AND
+  /// nodes, then switch to the parallel suffix.  Overrides serial_alpha.
+  bool serial_dynamic = false;
+  std::size_t serial_size_limit = 2000;
+  /// Standard-ITP engine only: compute each interpolant as the conjunction
+  /// of per-depth partitioned interpolants ITP(A, B^j) instead of one
+  /// bound-k interpolant (Section III / partitioned ITPs of [8]).  The
+  /// partition targets follow `scheme` (exact-k or assume-k).
+  bool itp_partitioned = false;
+  /// Max refinement iterations per bound for the CBA engine.
+  unsigned cba_refine_limit = 1000;
+  /// BMC engine: keep one incremental solver across bounds (single-instance
+  /// formulation in the spirit of the paper's reference [13]) instead of
+  /// re-encoding the unrolling at every k.
+  bool bmc_incremental = false;
+  /// Sequence engines: garbage-collect the state-set AIG between bounds
+  /// once it exceeds this node count (0 = never).  Bounds the growth of the
+  /// interpolant store over long runs.
+  std::size_t compact_threshold = 200000;
+  /// Sequence engines: compact each extracted interpolant term by SAT
+  /// sweeping (opt::fraig) before it enters the matrix.  Proof-directed
+  /// interpolant circuits are highly redundant, so this trades SAT time
+  /// for smaller state sets.
+  bool fraig_interpolants = false;
+  /// Conflict budget per fraig equivalence check.
+  std::int64_t fraig_conflicts = 200;
+};
+
+/// Aggregate statistics engines expose for the benchmark tables.
+struct EngineStats {
+  std::uint64_t sat_calls = 0;
+  std::uint64_t sat_conflicts = 0;
+  std::uint64_t proof_clauses = 0;     // total core clauses over all proofs
+  std::size_t max_itp_nodes = 0;       // largest interpolant AIG cone
+  std::size_t state_aig_nodes = 0;     // final state-set AIG size
+  unsigned cba_visible_latches = 0;    // CBA only: final abstraction size
+  unsigned cba_refinements = 0;        // CBA only
+};
+
+struct EngineResult {
+  Verdict verdict = Verdict::kUnknown;
+  /// BMC bound at fixpoint/failure (k_fp in Table I; last attempted bound
+  /// for kUnknown, matching the parenthesised ovf entries).
+  unsigned k_fp = 0;
+  /// Depth of the forward over-approximate traversal at the fixpoint
+  /// (j_fp in Table I; 0 on failure, as in the paper).
+  unsigned j_fp = 0;
+  double seconds = 0.0;
+  std::string engine;
+  Trace cex;  // valid iff verdict == kFail
+  /// Inductive-invariant certificate; emitted by the interpolation engines
+  /// on kPass (check with mc::check_certificate).
+  std::optional<Certificate> certificate;
+  EngineStats stats;
+};
+
+}  // namespace itpseq::mc

@@ -1,0 +1,121 @@
+#include "mc/sim.hpp"
+
+#include <stdexcept>
+
+namespace itpseq::mc {
+
+Simulator::Simulator(const aig::Aig& model, std::size_t prop)
+    : model_(model), prop_(prop) {
+  std::vector<aig::Lit> roots;
+  for (std::size_t i = 0; i < model.num_latches(); ++i)
+    roots.push_back(model.latch_next(i));
+  if (prop < model.num_outputs()) roots.push_back(model.output(prop));
+  for (std::size_t i = 0; i < model.num_constraints(); ++i)
+    roots.push_back(model.constraint(i));
+  order_ = model.cone(roots);
+}
+
+std::vector<bool> Simulator::eval_frame(const std::vector<bool>& latches,
+                                        const std::vector<bool>& inputs) const {
+  std::vector<bool> val(model_.num_vars(), false);
+  for (aig::Var v : order_) {
+    const aig::Node& n = model_.node(v);
+    switch (n.type) {
+      case aig::NodeType::kConst:
+        break;
+      case aig::NodeType::kInput: {
+        std::size_t idx = model_.input_index(v);
+        val[v] = idx < inputs.size() && inputs[idx];
+        break;
+      }
+      case aig::NodeType::kLatch: {
+        std::size_t idx = model_.latch_index(v);
+        val[v] = idx < latches.size() && latches[idx];
+        break;
+      }
+      case aig::NodeType::kAnd: {
+        bool a = val[aig::lit_var(n.fanin0)] ^ aig::lit_sign(n.fanin0);
+        bool b = val[aig::lit_var(n.fanin1)] ^ aig::lit_sign(n.fanin1);
+        // Constant fanins: var 0 evaluates to false in val[].
+        val[v] = a && b;
+        break;
+      }
+    }
+  }
+  return val;
+}
+
+std::vector<bool> Simulator::step(const std::vector<bool>& latches,
+                                  const std::vector<bool>& inputs) const {
+  std::vector<bool> val = eval_frame(latches, inputs);
+  std::vector<bool> next(model_.num_latches(), false);
+  for (std::size_t i = 0; i < model_.num_latches(); ++i) {
+    aig::Lit nx = model_.latch_next(i);
+    bool base = aig::lit_var(nx) == 0 ? false : val[aig::lit_var(nx)];
+    next[i] = base ^ aig::lit_sign(nx);
+  }
+  return next;
+}
+
+bool Simulator::bad(const std::vector<bool>& latches,
+                    const std::vector<bool>& inputs) const {
+  if (prop_ >= model_.num_outputs()) return false;
+  std::vector<bool> val = eval_frame(latches, inputs);
+  aig::Lit b = model_.output(prop_);
+  bool base = aig::lit_var(b) == 0 ? false : val[aig::lit_var(b)];
+  return base ^ aig::lit_sign(b);
+}
+
+bool Simulator::constraints_ok(const std::vector<bool>& latches,
+                               const std::vector<bool>& inputs) const {
+  if (model_.num_constraints() == 0) return true;
+  std::vector<bool> val = eval_frame(latches, inputs);
+  for (std::size_t i = 0; i < model_.num_constraints(); ++i) {
+    aig::Lit c = model_.constraint(i);
+    bool base = aig::lit_var(c) == 0 ? false : val[aig::lit_var(c)];
+    if (!(base ^ aig::lit_sign(c))) return false;
+  }
+  return true;
+}
+
+std::vector<bool> Simulator::reset_state(const std::vector<bool>& free_vals) const {
+  std::vector<bool> s(model_.num_latches(), false);
+  for (std::size_t i = 0; i < model_.num_latches(); ++i) {
+    switch (model_.latch_init(i)) {
+      case aig::LatchInit::kZero:
+        s[i] = false;
+        break;
+      case aig::LatchInit::kOne:
+        s[i] = true;
+        break;
+      case aig::LatchInit::kUndef:
+        s[i] = i < free_vals.size() && free_vals[i];
+        break;
+    }
+  }
+  return s;
+}
+
+SimFrames Simulator::run(const Trace& trace) const {
+  SimFrames out;
+  std::vector<bool> state = reset_state(trace.initial_latches);
+  unsigned frames = trace.inputs.empty() ? 1u
+                                         : static_cast<unsigned>(trace.inputs.size());
+  static const std::vector<bool> kNoInputs;
+  for (unsigned t = 0; t < frames; ++t) {
+    const std::vector<bool>& in =
+        t < trace.inputs.size() ? trace.inputs[t] : kNoInputs;
+    out.latches.push_back(state);
+    out.bad.push_back(bad(state, in));
+    out.constraints_ok.push_back(constraints_ok(state, in));
+    if (t + 1 < frames) state = step(state, in);
+  }
+  return out;
+}
+
+bool trace_is_cex(const aig::Aig& model, const Trace& trace, std::size_t prop) {
+  Simulator sim(model, prop);
+  return sim.run(trace).is_cex();
+}
+
+}  // namespace itpseq::mc

@@ -1,0 +1,65 @@
+// sim.hpp — concrete cycle-accurate simulation of an AIG model.
+//
+// Used to validate counterexample traces (tests) and to concretize abstract
+// counterexamples in the CBA engine (the EXTEND step of Fig. 5).
+#pragma once
+
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "mc/result.hpp"
+
+namespace itpseq::mc {
+
+/// Per-frame simulation record.
+struct SimFrames {
+  std::vector<std::vector<bool>> latches;  // [frame][latch]
+  std::vector<bool> bad;                   // [frame]
+  std::vector<bool> constraints_ok;        // [frame] all constraints hold
+  unsigned frames() const { return static_cast<unsigned>(bad.size()); }
+  /// Trace is a genuine counterexample: constraints hold everywhere and the
+  /// final frame is bad.
+  bool is_cex() const {
+    if (bad.empty() || !bad.back()) return false;
+    for (bool ok : constraints_ok)
+      if (!ok) return false;
+    return true;
+  }
+};
+
+class Simulator {
+ public:
+  explicit Simulator(const aig::Aig& model, std::size_t prop = 0);
+
+  /// Run the trace: frame 0 uses trace.initial_latches (latches with a
+  /// defined reset value are forced to it; the trace supplies values for
+  /// uninitialized latches) and trace.inputs[t] per frame.  Missing input
+  /// vectors or entries default to 0.
+  SimFrames run(const Trace& trace) const;
+
+  /// One step: next latch values from current latches and inputs.
+  std::vector<bool> step(const std::vector<bool>& latches,
+                         const std::vector<bool>& inputs) const;
+  /// Bad-output value in a frame.
+  bool bad(const std::vector<bool>& latches, const std::vector<bool>& inputs) const;
+  /// All invariant constraints hold in a frame.
+  bool constraints_ok(const std::vector<bool>& latches,
+                      const std::vector<bool>& inputs) const;
+
+  /// Reset state; entries for uninitialized latches taken from `free_vals`
+  /// (or 0 if absent).
+  std::vector<bool> reset_state(const std::vector<bool>& free_vals = {}) const;
+
+ private:
+  std::vector<bool> eval_frame(const std::vector<bool>& latches,
+                               const std::vector<bool>& inputs) const;
+
+  const aig::Aig& model_;
+  std::size_t prop_;
+  std::vector<aig::Var> order_;  // topo order of the combined cone
+};
+
+/// True iff `trace` is a genuine counterexample for output `prop`.
+bool trace_is_cex(const aig::Aig& model, const Trace& trace, std::size_t prop = 0);
+
+}  // namespace itpseq::mc

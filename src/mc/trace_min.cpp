@@ -1,0 +1,51 @@
+#include "mc/trace_min.hpp"
+
+#include <stdexcept>
+
+#include "mc/sim.hpp"
+
+namespace itpseq::mc {
+
+Trace minimize_trace(const aig::Aig& model, const Trace& trace,
+                     std::size_t prop, TraceMinStats* stats) {
+  Simulator sim(model, prop);
+  TraceMinStats local;
+  auto is_cex = [&](const Trace& t) {
+    ++local.sim_runs;
+    return sim.run(t).is_cex();
+  };
+  if (!is_cex(trace))
+    throw std::invalid_argument("minimize_trace: input is not a counterexample");
+
+  Trace best = trace;
+  // Pass 1: clear free initial-latch bits (only meaningful for latches with
+  // undefined reset; others are ignored by the simulator anyway).
+  for (std::size_t i = 0; i < best.initial_latches.size(); ++i) {
+    if (!best.initial_latches[i]) continue;
+    ++local.bits_total;
+    best.initial_latches[i] = false;
+    if (is_cex(best)) {
+      ++local.bits_cleared;
+    } else {
+      best.initial_latches[i] = true;
+    }
+  }
+  // Pass 2: clear input bits frame by frame, latest frames first (late
+  // inputs are most often irrelevant to the failure).
+  for (std::size_t f = best.inputs.size(); f-- > 0;) {
+    for (std::size_t i = 0; i < best.inputs[f].size(); ++i) {
+      if (!best.inputs[f][i]) continue;
+      ++local.bits_total;
+      best.inputs[f][i] = false;
+      if (is_cex(best)) {
+        ++local.bits_cleared;
+      } else {
+        best.inputs[f][i] = true;
+      }
+    }
+  }
+  if (stats) *stats = local;
+  return best;
+}
+
+}  // namespace itpseq::mc

@@ -1,0 +1,26 @@
+// trace_min.hpp — counterexample minimization.
+//
+// Engines return whatever input assignment the SAT model happened to
+// contain; for debugging one wants canonical, mostly-zero traces.  The
+// minimizer greedily clears input bits (and free initial-latch bits) while
+// preserving "the trace is still a counterexample", using the concrete
+// simulator as the oracle.
+#pragma once
+
+#include "mc/result.hpp"
+
+namespace itpseq::mc {
+
+struct TraceMinStats {
+  unsigned bits_total = 0;
+  unsigned bits_cleared = 0;
+  unsigned sim_runs = 0;
+};
+
+/// Returns a minimized copy of `trace` (still a genuine counterexample for
+/// `prop`).  `trace` must be a counterexample to begin with; throws
+/// std::invalid_argument otherwise.
+Trace minimize_trace(const aig::Aig& model, const Trace& trace,
+                     std::size_t prop = 0, TraceMinStats* stats = nullptr);
+
+}  // namespace itpseq::mc

@@ -1,0 +1,65 @@
+#include "mc/witness.hpp"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+namespace itpseq::mc {
+
+void write_witness(const Trace& trace, std::size_t prop, std::ostream& out) {
+  out << "1\n";
+  out << 'b' << prop << '\n';
+  for (bool b : trace.initial_latches) out << (b ? '1' : '0');
+  out << '\n';
+  for (const auto& frame : trace.inputs) {
+    for (bool b : frame) out << (b ? '1' : '0');
+    out << '\n';
+  }
+  out << ".\n";
+}
+
+namespace {
+
+std::vector<bool> parse_bits(const std::string& line, std::size_t expected,
+                             const char* what) {
+  if (line.size() != expected)
+    throw std::runtime_error(std::string("witness: bad ") + what +
+                             " width: got " + std::to_string(line.size()) +
+                             ", expected " + std::to_string(expected));
+  std::vector<bool> bits(line.size());
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (c != '0' && c != '1' && c != 'x' && c != 'X')
+      throw std::runtime_error("witness: bad character in bit line");
+    bits[i] = c == '1';
+  }
+  return bits;
+}
+
+}  // namespace
+
+Trace read_witness(std::istream& in, std::size_t num_latches,
+                   std::size_t num_inputs) {
+  std::string line;
+  // Status line (skip optional comments).
+  while (std::getline(in, line) && (line.empty() || line[0] == 'c')) {
+  }
+  if (line != "1")
+    throw std::runtime_error("witness: expected status '1', got '" + line + "'");
+  if (!std::getline(in, line) || line.empty() || (line[0] != 'b' && line[0] != 'j'))
+    throw std::runtime_error("witness: expected property line");
+  Trace t;
+  if (!std::getline(in, line)) throw std::runtime_error("witness: missing init line");
+  t.initial_latches = parse_bits(line, num_latches, "latch line");
+  while (std::getline(in, line)) {
+    if (line == ".") return t;
+    // An empty line is a frame for zero-input models, noise otherwise.
+    if (line.empty() && num_inputs > 0) continue;
+    if (!line.empty() && line[0] == 'c') continue;
+    t.inputs.push_back(parse_bits(line, num_inputs, "input line"));
+  }
+  throw std::runtime_error("witness: missing '.' terminator");
+}
+
+}  // namespace itpseq::mc

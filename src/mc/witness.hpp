@@ -1,0 +1,31 @@
+// witness.hpp — AIGER witness format for counterexample traces.
+//
+// Writes traces in the format used by HWMCC and the aiger tools
+// (aigsim -w / IC3 witnesses):
+//
+//   1           status line ("1" = property violated)
+//   b<N>        which bad property the trace refutes
+//   010...      initial latch values (one char per latch)
+//   10x1...     one input vector line per frame
+//   .           terminator
+//
+// so counterexamples can be cross-checked with external simulators, and
+// external witnesses can be replayed against our models.
+#pragma once
+
+#include <iosfwd>
+
+#include "mc/result.hpp"
+
+namespace itpseq::mc {
+
+/// Write `trace` as an AIGER witness for bad property `prop`.
+void write_witness(const Trace& trace, std::size_t prop, std::ostream& out);
+
+/// Parse an AIGER witness.  `num_latches` / `num_inputs` give the expected
+/// line widths ('x' entries read as 0).  Throws std::runtime_error on
+/// malformed input.
+Trace read_witness(std::istream& in, std::size_t num_latches,
+                   std::size_t num_inputs);
+
+}  // namespace itpseq::mc

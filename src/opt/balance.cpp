@@ -1,0 +1,114 @@
+#include "opt/balance.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace itpseq::opt {
+
+std::size_t cone_depth(const aig::Aig& g, aig::Lit root) {
+  std::vector<aig::Var> cone = g.cone({root});
+  std::vector<std::size_t> depth(g.num_vars(), 0);
+  for (aig::Var v : cone) {
+    const aig::Node& n = g.node(v);
+    if (n.type != aig::NodeType::kAnd) continue;
+    depth[v] = 1 + std::max(depth[aig::lit_var(n.fanin0)],
+                            depth[aig::lit_var(n.fanin1)]);
+  }
+  return depth[aig::lit_var(root)];
+}
+
+aig::CompactResult balance(const aig::Aig& g,
+                           const std::vector<aig::Lit>& roots) {
+  aig::CompactResult out;
+  std::vector<aig::Lit> map(g.num_vars(), aig::kNullLit);
+  std::vector<std::size_t> new_depth(g.num_vars(), 0);
+  map[0] = aig::kFalse;
+  for (std::size_t i = 0; i < g.num_inputs(); ++i) {
+    aig::Var v = aig::lit_var(g.input(i));
+    map[v] = out.graph.add_input(g.name(v));
+  }
+  for (std::size_t i = 0; i < g.num_latches(); ++i) {
+    aig::Var v = aig::lit_var(g.latch(i));
+    map[v] = out.graph.add_latch(g.latch_init(i), g.name(v));
+  }
+
+  std::vector<aig::Var> cone = g.cone(roots);
+
+  // A cone AND node is a supergate *root* when it is referenced more than
+  // once, referenced through a complemented edge, or referenced as an
+  // output root.  Only roots are materialized; inner nodes are inlined
+  // into their root's operand list.
+  std::vector<unsigned> refs(g.num_vars(), 0);
+  std::vector<char> complemented(g.num_vars(), 0);
+  for (aig::Var v : cone) {
+    const aig::Node& n = g.node(v);
+    if (n.type != aig::NodeType::kAnd) continue;
+    for (aig::Lit f : {n.fanin0, n.fanin1}) {
+      ++refs[aig::lit_var(f)];
+      if (aig::lit_sign(f)) complemented[aig::lit_var(f)] = 1;
+    }
+  }
+  for (aig::Lit r : roots) {
+    ++refs[aig::lit_var(r)];
+    complemented[aig::lit_var(r)] = 1;  // force materialization
+  }
+  auto is_root = [&](aig::Var v) {
+    return g.is_and(v) && (refs[v] > 1 || complemented[v]);
+  };
+
+  // Operand collection: descend through positive edges into non-root ANDs.
+  auto collect = [&](aig::Var v, auto&& self,
+                     std::vector<aig::Lit>& ops) -> void {
+    const aig::Node& n = g.node(v);
+    for (aig::Lit f : {n.fanin0, n.fanin1}) {
+      aig::Var fv = aig::lit_var(f);
+      if (!aig::lit_sign(f) && g.is_and(fv) && !is_root(fv))
+        self(fv, self, ops);
+      else
+        ops.push_back(f);
+    }
+  };
+
+  for (aig::Var v : cone) {
+    if (map[v] != aig::kNullLit) continue;
+    const aig::Node& n = g.node(v);
+    if (n.type != aig::NodeType::kAnd)
+      throw std::logic_error("balance: unregistered leaf in cone");
+    if (!is_root(v)) continue;  // inlined by its (unique) parent root
+    std::vector<aig::Lit> ops;
+    collect(v, collect, ops);
+    struct Op {
+      aig::Lit lit;
+      std::size_t depth;
+      bool operator>(const Op& o) const { return depth > o.depth; }
+    };
+    std::priority_queue<Op, std::vector<Op>, std::greater<Op>> pq;
+    for (aig::Lit f : ops) {
+      aig::Lit base = map[aig::lit_var(f)];
+      if (base == aig::kNullLit)
+        throw std::logic_error("balance: operand not materialized");
+      pq.push(
+          {aig::lit_xor(base, aig::lit_sign(f)), new_depth[aig::lit_var(f)]});
+    }
+    // Huffman-style combine: always merge the two shallowest operands.
+    while (pq.size() > 1) {
+      Op x = pq.top();
+      pq.pop();
+      Op y = pq.top();
+      pq.pop();
+      aig::Lit r = out.graph.make_and(x.lit, y.lit);
+      pq.push({r, std::max(x.depth, y.depth) + 1});
+    }
+    map[v] = pq.top().lit;
+    new_depth[v] = pq.top().depth;
+  }
+
+  out.roots.reserve(roots.size());
+  for (aig::Lit r : roots)
+    out.roots.push_back(
+        aig::lit_xor(map[aig::lit_var(r)], aig::lit_sign(r)));
+  return out;
+}
+
+}  // namespace itpseq::opt

@@ -1,0 +1,26 @@
+// balance.hpp — AND-tree balancing (depth minimization) of AIG cones.
+//
+// Deep AND chains arise naturally when interpolants are built literal by
+// literal from resolution chains.  Balancing collects maximal multi-input
+// AND *supergates* (through positive, single-fanout edges) and rebuilds
+// each as a depth-minimal tree by repeatedly combining the two shallowest
+// operands (Huffman-style).  Logic is preserved exactly; structural
+// hashing in the output graph recovers sharing.
+#pragma once
+
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "aig/compact.hpp"
+
+namespace itpseq::opt {
+
+/// AND-depth of the cone of `root` (leaves and constants have depth 0).
+std::size_t cone_depth(const aig::Aig& g, aig::Lit root);
+
+/// Rebuild the cone of `roots` with balanced AND trees.  Leaves are
+/// recreated in order (same convention as aig::compact); latch next-state
+/// functions are not copied.
+aig::CompactResult balance(const aig::Aig& g, const std::vector<aig::Lit>& roots);
+
+}  // namespace itpseq::opt

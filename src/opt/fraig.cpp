@@ -1,0 +1,171 @@
+#include "opt/fraig.hpp"
+
+#include <unordered_map>
+
+#include "cnf/tseitin.hpp"
+#include "opt/simulate.hpp"
+#include "sat/solver.hpp"
+
+namespace itpseq::opt {
+
+std::optional<bool> equivalent(const aig::Aig& g, aig::Lit a, aig::Lit b,
+                               std::int64_t max_conflicts) {
+  if (a == b) return true;
+  if (a == aig::lit_not(b)) return false;
+  sat::Solver solver;
+  std::vector<sat::Lit> leaf_lit(g.num_vars(), sat::kNoLit);
+  cnf::TseitinEncoder enc(g, solver, [&](aig::Var v) {
+    if (leaf_lit[v] == sat::kNoLit) leaf_lit[v] = sat::mk_lit(solver.new_var());
+    return leaf_lit[v];
+  });
+  sat::Lit x = enc.encode(a, 0);
+  sat::Lit y = enc.encode(b, 0);
+  // Miter: satisfiable iff a != b for some leaf assignment.
+  solver.add_clause({x, y});
+  solver.add_clause({sat::neg(x), sat::neg(y)});
+  sat::Budget budget;
+  budget.conflicts = max_conflicts;
+  switch (solver.solve(budget)) {
+    case sat::Status::kUnsat: return true;
+    case sat::Status::kSat: return false;
+    case sat::Status::kUnknown: return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+FraigResult fraig(const aig::Aig& g, const std::vector<aig::Lit>& roots,
+                  const FraigOptions& opts) {
+  FraigResult out;
+  std::vector<aig::Lit> map(g.num_vars(), aig::kNullLit);
+  map[0] = aig::kFalse;
+  for (std::size_t i = 0; i < g.num_inputs(); ++i)
+    map[aig::lit_var(g.input(i))] =
+        out.graph.add_input(g.name(aig::lit_var(g.input(i))));
+  for (std::size_t i = 0; i < g.num_latches(); ++i)
+    map[aig::lit_var(g.latch(i))] = out.graph.add_latch(
+        g.latch_init(i), g.name(aig::lit_var(g.latch(i))));
+
+  BitParallelSim sim(g, roots, opts.sim_words, opts.seed);
+
+  // One incremental solver holds the Tseitin encoding of the *output*
+  // graph; equivalence queries are pairs of unit-miter clauses solved under
+  // a fresh relay variable each (classic sweeping trick: the relay keeps
+  // disproved miters from constraining later queries).
+  sat::Solver solver;
+  std::vector<sat::Lit> leaf_lit;
+  cnf::TseitinEncoder enc(out.graph, solver, [&](aig::Var v) {
+    if (v >= leaf_lit.size()) leaf_lit.resize(v + 1, sat::kNoLit);
+    if (leaf_lit[v] == sat::kNoLit) leaf_lit[v] = sat::mk_lit(solver.new_var());
+    return leaf_lit[v];
+  });
+  // Old leaf var -> new leaf var, to read counterexample patterns back.
+  std::vector<aig::Var> new_leaf(g.num_vars(), 0);
+  for (std::size_t i = 0; i < g.num_inputs(); ++i)
+    new_leaf[aig::lit_var(g.input(i))] = aig::lit_var(out.graph.input(i));
+  for (std::size_t i = 0; i < g.num_latches(); ++i)
+    new_leaf[aig::lit_var(g.latch(i))] = aig::lit_var(out.graph.latch(i));
+
+  // Proves map-level equivalence of two literals of the output graph.
+  auto prove_equal = [&](aig::Lit x, aig::Lit y) -> std::optional<bool> {
+    ++out.stats.sat_checks;
+    sat::Lit sx = enc.encode(x, 0);
+    sat::Lit sy = enc.encode(y, 0);
+    sat::Lit relay = sat::mk_lit(solver.new_var());
+    // relay -> (sx != sy): SAT under {relay} iff the nodes differ.
+    solver.add_clause({sat::neg(relay), sx, sy});
+    solver.add_clause({sat::neg(relay), sat::neg(sx), sat::neg(sy)});
+    sat::Budget budget;
+    budget.conflicts = opts.max_conflicts;
+    switch (solver.solve_assuming({relay}, budget)) {
+      case sat::Status::kUnsat:
+        solver.add_clause({sat::neg(relay)});  // retire the miter
+        return true;
+      case sat::Status::kSat:
+        return false;
+      case sat::Status::kUnknown:
+        ++out.stats.timeouts;
+        solver.add_clause({sat::neg(relay)});
+        return std::nullopt;
+    }
+    return std::nullopt;
+  };
+
+  // Candidate classes, keyed by complement-invariant signature hash of the
+  // *old* node.  Entries may go stale after refinement (hashes change);
+  // stale entries only cost missed merges, never wrong ones, because
+  // same_signature and the SAT check always re-validate.
+  std::unordered_map<std::uint64_t, std::vector<aig::Var>> classes;
+
+  for (aig::Var v : g.cone(roots)) {
+    if (map[v] != aig::kNullLit) continue;
+    const aig::Node& n = g.node(v);
+    auto fanin = [&](aig::Lit f) {
+      return aig::lit_xor(map[aig::lit_var(f)], aig::lit_sign(f));
+    };
+    aig::Lit nl = out.graph.make_and(fanin(n.fanin0), fanin(n.fanin1));
+    // Constant candidate: an all-zero/all-one signature suggests the node
+    // is FALSE/TRUE; verify and fold.
+    if (nl != aig::kFalse && nl != aig::kTrue) {
+      bool all0 = true, all1 = true;
+      for (unsigned w = 0; w < sim.words() && (all0 || all1); ++w) {
+        std::uint64_t s = sim.word(v, w);
+        all0 &= s == 0;
+        all1 &= s == ~0ull;
+      }
+      if (all0 || all1) {
+        std::optional<bool> eq =
+            prove_equal(nl, all0 ? aig::kFalse : aig::kTrue);
+        if (eq.has_value() && *eq) {
+          map[v] = all0 ? aig::kFalse : aig::kTrue;
+          ++out.stats.merges;
+          continue;
+        }
+        if (eq.has_value() && !*eq) {
+          ++out.stats.refinements;
+          sim.add_pattern([&](aig::Var leaf) {
+            sat::Lit sl = enc.lookup(aig::var_lit(new_leaf[leaf]));
+            if (sl == sat::kNoLit) return false;
+            return sat::lbool_xor(solver.model()[sat::var(sl)],
+                                  sat::sign(sl)) == sat::LBool::kTrue;
+          });
+        }
+      }
+    }
+    std::uint64_t h = sim.class_hash(v);
+    auto& bucket = classes[h];
+    for (aig::Var u : bucket) {
+      bool same_phase = sim.same_signature(aig::var_lit(v), aig::var_lit(u));
+      bool anti_phase =
+          !same_phase &&
+          sim.same_signature(aig::var_lit(v), aig::var_lit(u, true));
+      if (!same_phase && !anti_phase) continue;
+      aig::Lit target = aig::lit_xor(map[u], anti_phase);
+      if (nl == target) break;  // already structurally merged
+      std::optional<bool> eq = prove_equal(nl, target);
+      if (eq.has_value() && *eq) {
+        nl = target;
+        ++out.stats.merges;
+        break;
+      }
+      if (eq.has_value() && !*eq) {
+        // Distinguishing pattern: refine every signature.
+        ++out.stats.refinements;
+        sim.add_pattern([&](aig::Var leaf) {
+          sat::Lit sl = enc.lookup(aig::var_lit(new_leaf[leaf]));
+          if (sl == sat::kNoLit) return false;  // unconstrained leaf
+          return sat::lbool_xor(solver.model()[sat::var(sl)], sat::sign(sl)) ==
+                 sat::LBool::kTrue;
+        });
+      }
+    }
+    bucket.push_back(v);
+    map[v] = nl;
+  }
+
+  out.roots.reserve(roots.size());
+  for (aig::Lit r : roots)
+    out.roots.push_back(aig::lit_xor(map[aig::lit_var(r)], aig::lit_sign(r)));
+  return out;
+}
+
+}  // namespace itpseq::opt

@@ -1,0 +1,59 @@
+// fraig.hpp — SAT sweeping (functional reduction) of AIG cones.
+//
+// Combines random simulation and SAT: nodes with identical (or
+// complementary) simulation signatures are *candidate* equivalences; a SAT
+// check on the miter of the two cones either proves the equivalence (the
+// nodes are merged) or yields a distinguishing input pattern that refines
+// the signatures.  Leaves (inputs and latches) are treated as free
+// variables, i.e. the reduction is purely combinational — exactly the
+// right notion for compacting interpolant/state-set predicates, which are
+// combinational functions of the model latches.
+//
+// This is the classic ABC `fraig` algorithm scaled to this library: the
+// sweep rebuilds the cone bottom-up, so every merge removes the merged
+// node's cone from the result.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "aig/compact.hpp"
+
+namespace itpseq::opt {
+
+struct FraigOptions {
+  unsigned sim_words = 4;          ///< random 64-bit words per leaf
+  std::uint64_t seed = 0x1234567;  ///< simulation seed
+  /// Conflict budget per equivalence check; exhausted checks leave the
+  /// nodes distinct (sound, possibly suboptimal).
+  std::int64_t max_conflicts = 1000;
+};
+
+struct FraigStats {
+  std::size_t sat_checks = 0;   ///< miter SAT calls
+  std::size_t merges = 0;       ///< proven equivalences applied
+  std::size_t refinements = 0;  ///< counterexample patterns fed back
+  std::size_t timeouts = 0;     ///< checks abandoned on conflict budget
+};
+
+struct FraigResult {
+  aig::Aig graph;
+  std::vector<aig::Lit> roots;
+  FraigStats stats;
+};
+
+/// Sweep the cone of `roots` in `g`.  Leaves are recreated in order (the
+/// aig::compact convention), so results can be imported back with
+/// Aig::import_cone.
+FraigResult fraig(const aig::Aig& g, const std::vector<aig::Lit>& roots,
+                  const FraigOptions& opts = {});
+
+/// Exact combinational equivalence of two literals of the same AIG (miter
+/// SAT check; inputs and latches free).  nullopt if the conflict budget is
+/// exhausted first (max_conflicts < 0 = unlimited).
+std::optional<bool> equivalent(const aig::Aig& g, aig::Lit a, aig::Lit b,
+                               std::int64_t max_conflicts = -1);
+
+}  // namespace itpseq::opt

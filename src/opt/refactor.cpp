@@ -1,0 +1,218 @@
+#include "opt/refactor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace itpseq::opt {
+
+namespace {
+
+/// Truth-table pattern of variable i (period 2^(i+1)), replicated to 64
+/// bits so tables over fewer than 6 variables are canonically replicated.
+constexpr std::uint64_t kPat[6] = {
+    0xaaaaaaaaaaaaaaaaull, 0xccccccccccccccccull, 0xf0f0f0f0f0f0f0f0ull,
+    0xff00ff00ff00ff00ull, 0xffff0000ffff0000ull, 0xffffffff00000000ull,
+};
+
+std::uint64_t cof0(std::uint64_t t, unsigned i) {
+  std::uint64_t lo = t & ~kPat[i];
+  return lo | (lo << (1u << i));
+}
+std::uint64_t cof1(std::uint64_t t, unsigned i) {
+  std::uint64_t hi = t & kPat[i];
+  return hi | (hi >> (1u << i));
+}
+
+/// Minato-Morreale recursion over variables 0..v-1; returns the cover of
+/// the cubes appended to `out`.
+std::uint64_t isop_rec(std::uint64_t lower, std::uint64_t upper, unsigned v,
+                       std::vector<Cube>& out) {
+  if (lower == 0) return 0;
+  if (upper == ~0ull) {
+    out.push_back({});  // tautology cube
+    return ~0ull;
+  }
+  if (v == 0)
+    throw std::logic_error("isop: inconsistent bounds at leaf");
+  unsigned i = v - 1;
+  std::uint64_t l0 = cof0(lower, i), l1 = cof1(lower, i);
+  std::uint64_t u0 = cof0(upper, i), u1 = cof1(upper, i);
+  // Minterms that can only be covered with a ~x_i (resp. x_i) literal.
+  std::size_t b0 = out.size();
+  std::uint64_t c0 = isop_rec(l0 & ~u1, u0, i, out);
+  for (std::size_t c = b0; c < out.size(); ++c)
+    out[c].neg |= static_cast<std::uint8_t>(1u << i);
+  std::size_t b1 = out.size();
+  std::uint64_t c1 = isop_rec(l1 & ~u0, u1, i, out);
+  for (std::size_t c = b1; c < out.size(); ++c)
+    out[c].pos |= static_cast<std::uint8_t>(1u << i);
+  // Remainder, coverable without mentioning x_i.
+  std::uint64_t rest = (l0 & ~c0) | (l1 & ~c1);
+  std::uint64_t cs = isop_rec(rest, u0 & u1, i, out);
+  return (c0 & ~kPat[i]) | (c1 & kPat[i]) | cs;
+}
+
+}  // namespace
+
+std::vector<Cube> isop(std::uint64_t lower, std::uint64_t upper,
+                       unsigned nvars) {
+  // Canonicalize: mask to the meaningful low 2^nvars bits, then replicate
+  // to 64 bits so the constant checks in the recursion are uniform.
+  if (nvars < 6) {
+    std::uint64_t mask = (1ull << (1u << nvars)) - 1;
+    lower &= mask;
+    upper &= mask;
+  }
+  for (unsigned i = nvars; i < 6; ++i) {
+    lower |= lower << (1u << i);
+    upper |= upper << (1u << i);
+  }
+  std::vector<Cube> out;
+  isop_rec(lower, upper, nvars, out);
+  return out;
+}
+
+std::uint64_t sop_table(const std::vector<Cube>& cubes, unsigned nvars) {
+  std::uint64_t r = 0;
+  for (const Cube& c : cubes) {
+    std::uint64_t t = ~0ull;
+    for (unsigned i = 0; i < nvars; ++i) {
+      if (c.pos & (1u << i)) t &= kPat[i];
+      if (c.neg & (1u << i)) t &= ~kPat[i];
+    }
+    r |= t;
+  }
+  return r;
+}
+
+namespace {
+
+/// Build a cube list as an AIG cone over `leaves` (leaf i = variable i).
+aig::Lit build_sop(aig::Aig& g, const std::vector<Cube>& cubes,
+                   const std::vector<aig::Lit>& leaves) {
+  std::vector<aig::Lit> terms;
+  terms.reserve(cubes.size());
+  for (const Cube& c : cubes) {
+    std::vector<aig::Lit> factors;
+    for (std::size_t i = 0; i < leaves.size(); ++i) {
+      if (c.pos & (1u << i)) factors.push_back(leaves[i]);
+      if (c.neg & (1u << i)) factors.push_back(aig::lit_not(leaves[i]));
+    }
+    terms.push_back(g.make_and_many(factors));
+  }
+  return g.make_or_many(terms);
+}
+
+}  // namespace
+
+aig::CompactResult refactor(const aig::Aig& g,
+                            const std::vector<aig::Lit>& roots) {
+  aig::CompactResult out;
+  std::vector<aig::Lit> map(g.num_vars(), aig::kNullLit);
+  map[0] = aig::kFalse;
+  for (std::size_t i = 0; i < g.num_inputs(); ++i)
+    map[aig::lit_var(g.input(i))] =
+        out.graph.add_input(g.name(aig::lit_var(g.input(i))));
+  for (std::size_t i = 0; i < g.num_latches(); ++i)
+    map[aig::lit_var(g.latch(i))] = out.graph.add_latch(
+        g.latch_init(i), g.name(aig::lit_var(g.latch(i))));
+
+  std::vector<aig::Var> cone = g.cone(roots);
+
+  // Structural supports with early bail-out beyond kMaxSupport.
+  std::vector<std::vector<aig::Var>> supp(g.num_vars());
+  std::vector<char> small(g.num_vars(), 0);
+  for (aig::Var v : cone) {
+    const aig::Node& n = g.node(v);
+    if (n.type == aig::NodeType::kInput || n.type == aig::NodeType::kLatch) {
+      supp[v] = {v};
+      small[v] = 1;
+    } else if (n.type == aig::NodeType::kAnd) {
+      aig::Var a = aig::lit_var(n.fanin0), b = aig::lit_var(n.fanin1);
+      if (!small[a] || !small[b]) continue;
+      std::vector<aig::Var> u;
+      std::set_union(supp[a].begin(), supp[a].end(), supp[b].begin(),
+                     supp[b].end(), std::back_inserter(u));
+      if (u.size() <= kMaxSupport) {
+        supp[v] = std::move(u);
+        small[v] = 1;
+      }
+    }
+  }
+  // Maximal refactoring candidates: small nodes whose every use crosses
+  // into a non-small context (or which are requested roots).
+  std::vector<char> maximal(g.num_vars(), 0);
+  for (aig::Var v : cone) {
+    const aig::Node& n = g.node(v);
+    if (n.type != aig::NodeType::kAnd || small[v]) continue;
+    for (aig::Lit f : {n.fanin0, n.fanin1}) {
+      aig::Var fv = aig::lit_var(f);
+      if (small[fv] && g.is_and(fv)) maximal[fv] = 1;
+    }
+  }
+  for (aig::Lit r : roots) {
+    aig::Var v = aig::lit_var(r);
+    if (small[v] && g.is_and(v)) maximal[v] = 1;
+  }
+
+  for (aig::Var v : cone) {
+    if (map[v] != aig::kNullLit) continue;
+    const aig::Node& n = g.node(v);
+    if (n.type != aig::NodeType::kAnd)
+      throw std::logic_error("refactor: unregistered leaf in cone");
+    auto fanin = [&](aig::Lit f) {
+      return aig::lit_xor(map[aig::lit_var(f)], aig::lit_sign(f));
+    };
+    aig::Lit structural = out.graph.make_and(fanin(n.fanin0), fanin(n.fanin1));
+    map[v] = structural;
+    if (!maximal[v]) continue;
+
+    // Collapse to a truth table over the (<= 6) support leaves.
+    const std::vector<aig::Var>& leaves = supp[v];
+    unsigned nv = static_cast<unsigned>(leaves.size());
+    std::vector<std::uint64_t> vals(g.num_vars(), 0);
+    for (unsigned i = 0; i < nv; ++i) vals[leaves[i]] = kPat[i];
+    std::uint64_t tt = g.evaluate64(aig::var_lit(v), vals);
+
+    // Both polarities; prefer the smaller SOP.
+    std::vector<Cube> pos = isop(tt, tt, nv);
+    std::vector<Cube> negc = isop(~tt, ~tt, nv);
+    bool use_neg = negc.size() < pos.size();
+    const std::vector<Cube>& cubes = use_neg ? negc : pos;
+
+    // Build into a scratch graph to compare sizes before committing.
+    aig::Aig scratch;
+    std::vector<aig::Lit> scratch_leaves;
+    for (unsigned i = 0; i < nv; ++i)
+      scratch_leaves.push_back(scratch.add_input());
+    aig::Lit cand = build_sop(scratch, cubes, scratch_leaves);
+    if (use_neg) cand = aig::lit_not(cand);
+    if (scratch.cone_size(cand) < out.graph.cone_size(structural)) {
+      std::vector<aig::Lit> leaf_map(scratch.num_vars(), aig::kNullLit);
+      for (unsigned i = 0; i < nv; ++i)
+        leaf_map[aig::lit_var(scratch_leaves[i])] = map[leaves[i]];
+      map[v] = out.graph.import_cone(scratch, cand, leaf_map);
+    }
+  }
+
+  out.roots.reserve(roots.size());
+  for (aig::Lit r : roots)
+    out.roots.push_back(aig::lit_xor(map[aig::lit_var(r)], aig::lit_sign(r)));
+
+  // The per-node acceptance heuristic compares *cone* sizes, which
+  // overcounts logic shared between roots, so a locally-good trade can
+  // duplicate shared structure.  Compact away the scratch garbage, then
+  // enforce the global no-growth guarantee.
+  auto live_ands = [](const aig::Aig& graph, const std::vector<aig::Lit>& rs) {
+    std::size_t n = 0;
+    for (aig::Var v : graph.cone(rs))
+      if (graph.is_and(v)) ++n;
+    return n;
+  };
+  aig::CompactResult clean = aig::compact(out.graph, out.roots);
+  if (live_ands(clean.graph, clean.roots) > live_ands(g, roots))
+    return aig::compact(g, roots);  // structural copy: never grows
+  return clean;
+}
+
+}  // namespace itpseq::opt

@@ -1,0 +1,46 @@
+// refactor.hpp — collapse-and-refactor of small AIG cones.
+//
+// Complements the local rules of rewrite.hpp with a *global* view of small
+// functions: any sub-cone whose structural support has at most
+// `kMaxSupport` leaves is collapsed to a truth table and rebuilt from an
+// irredundant sum-of-products computed by the Minato-Morreale ISOP
+// algorithm (both polarities are tried; the best of the original and the
+// two rebuilds is kept).  This removes redundancy that no bounded-locality
+// rule can see — e.g. consensus terms, re-derived shared functions —
+// which makes it effective on proof-generated interpolant circuits.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "aig/compact.hpp"
+
+namespace itpseq::opt {
+
+/// Maximum support size collapsed into a truth table (64-bit tables).
+inline constexpr unsigned kMaxSupport = 6;
+
+/// One product term over up to kMaxSupport variables.
+struct Cube {
+  std::uint8_t pos = 0;  ///< bit i set: variable i appears positively
+  std::uint8_t neg = 0;  ///< bit i set: variable i appears negatively
+};
+
+/// Minato-Morreale irredundant SOP: returns cubes whose union g satisfies
+/// lower <= g <= upper (as sets of minterms over `nvars` variables).
+/// Tables use the standard variable patterns (variable i toggles with
+/// period 2^i); only the low 2^nvars bits are meaningful.
+std::vector<Cube> isop(std::uint64_t lower, std::uint64_t upper,
+                       unsigned nvars);
+
+/// Evaluate a cube list as a truth table (for tests / verification).
+std::uint64_t sop_table(const std::vector<Cube>& cubes, unsigned nvars);
+
+/// Rebuild the cones of `roots` with small-support sub-cones refactored.
+/// Leaves are recreated in order (the aig::compact convention); the result
+/// never has more AND nodes in the root cones than the original.
+aig::CompactResult refactor(const aig::Aig& g,
+                            const std::vector<aig::Lit>& roots);
+
+}  // namespace itpseq::opt

@@ -1,0 +1,144 @@
+#include "opt/rewrite.hpp"
+
+#include <stdexcept>
+
+namespace itpseq::opt {
+
+namespace {
+
+/// One-level structural view of a literal.
+struct View {
+  bool is_and = false;   // var is an AND node
+  bool positive = false; // edge polarity (true: un-complemented AND)
+  aig::Lit f0 = aig::kNullLit;
+  aig::Lit f1 = aig::kNullLit;
+};
+
+View view_of(const aig::Aig& g, aig::Lit l) {
+  View v;
+  aig::Var var = aig::lit_var(l);
+  if (g.is_and(var)) {
+    v.is_and = true;
+    v.positive = !aig::lit_sign(l);
+    v.f0 = g.node(var).fanin0;
+    v.f1 = g.node(var).fanin1;
+  }
+  return v;
+}
+
+bool is_member(aig::Lit x, const View& v) { return x == v.f0 || x == v.f1; }
+/// The other fanin when x is one of them.
+aig::Lit other(aig::Lit x, const View& v) { return x == v.f0 ? v.f1 : v.f0; }
+
+}  // namespace
+
+aig::Lit RewriteBuilder::make_and(aig::Lit a, aig::Lit b) {
+  // Level-0 simplifications.
+  if (a == aig::kFalse || b == aig::kFalse) return aig::kFalse;
+  if (a == aig::kTrue) return b;
+  if (b == aig::kTrue) return a;
+  if (a == b) return a;
+  if (a == aig::lit_not(b)) return aig::kFalse;
+
+  View va = view_of(g_, a), vb = view_of(g_, b);
+
+  // Literal vs positive AND: absorption / contradiction.  The "literal"
+  // side may itself be any node.
+  auto lit_vs_pos = [&](aig::Lit x, aig::Lit and_side,
+                        const View& v) -> aig::Lit {
+    if (is_member(x, v)) return and_side;                    // x & (x&y) = x&y
+    if (is_member(aig::lit_not(x), v)) return aig::kFalse;   // x & (x'&y) = 0
+    return aig::kNullLit;
+  };
+  if (vb.is_and && vb.positive) {
+    aig::Lit r = lit_vs_pos(a, b, vb);
+    if (r != aig::kNullLit) return r;
+  }
+  if (va.is_and && va.positive) {
+    aig::Lit r = lit_vs_pos(b, a, va);
+    if (r != aig::kNullLit) return r;
+  }
+
+  // Literal vs negative AND: substitution / subsumption.
+  auto lit_vs_neg = [&](aig::Lit x, const View& v) -> aig::Lit {
+    if (is_member(aig::lit_not(x), v)) return x;  // x & !(x'&y) = x
+    if (is_member(x, v))                          // x & !(x&y) = x & !y
+      return make_and(x, aig::lit_not(other(x, v)));
+    return aig::kNullLit;
+  };
+  if (vb.is_and && !vb.positive) {
+    aig::Lit r = lit_vs_neg(a, vb);
+    if (r != aig::kNullLit) return r;
+  }
+  if (va.is_and && !va.positive) {
+    aig::Lit r = lit_vs_neg(b, va);
+    if (r != aig::kNullLit) return r;
+  }
+
+  if (va.is_and && vb.is_and) {
+    if (va.positive && vb.positive) {
+      // Contradiction across the pair.
+      if (is_member(aig::lit_not(va.f0), vb) ||
+          is_member(aig::lit_not(va.f1), vb))
+        return aig::kFalse;
+      // Shared fanin: drop the duplicate.
+      if (is_member(va.f0, vb)) return make_and(a, other(va.f0, vb));
+      if (is_member(va.f1, vb)) return make_and(a, other(va.f1, vb));
+    } else if (va.positive != vb.positive) {
+      const View& pos = va.positive ? va : vb;
+      const View& neg = va.positive ? vb : va;
+      aig::Lit pos_lit = va.positive ? a : b;
+      // Subsumption: the positive side implies a complemented fanin of the
+      // negative side.
+      if (is_member(aig::lit_not(pos.f0), neg) ||
+          is_member(aig::lit_not(pos.f1), neg))
+        return pos_lit;
+      // Containment: the positive side implies the negated conjunction.
+      bool c0 = is_member(neg.f0, pos), c1 = is_member(neg.f1, pos);
+      if (c0 && c1) return aig::kFalse;
+      // Substitution: one shared fanin is forced true by the positive side.
+      if (c0) return make_and(pos_lit, aig::lit_not(neg.f1));
+      if (c1) return make_and(pos_lit, aig::lit_not(neg.f0));
+    } else {
+      // Both negative: resolution.
+      if ((va.f0 == vb.f0 && va.f1 == aig::lit_not(vb.f1)) ||
+          (va.f0 == vb.f1 && va.f1 == aig::lit_not(vb.f0)))
+        return aig::lit_not(va.f0);
+      if ((va.f1 == vb.f0 && va.f0 == aig::lit_not(vb.f1)) ||
+          (va.f1 == vb.f1 && va.f0 == aig::lit_not(vb.f0)))
+        return aig::lit_not(va.f1);
+    }
+  }
+  return g_.make_and(a, b);
+}
+
+aig::CompactResult rewrite(const aig::Aig& g,
+                           const std::vector<aig::Lit>& roots) {
+  aig::CompactResult out;
+  RewriteBuilder builder(out.graph);
+  std::vector<aig::Lit> map(g.num_vars(), aig::kNullLit);
+  map[0] = aig::kFalse;
+  for (std::size_t i = 0; i < g.num_inputs(); ++i)
+    map[aig::lit_var(g.input(i))] =
+        out.graph.add_input(g.name(aig::lit_var(g.input(i))));
+  for (std::size_t i = 0; i < g.num_latches(); ++i)
+    map[aig::lit_var(g.latch(i))] = out.graph.add_latch(
+        g.latch_init(i), g.name(aig::lit_var(g.latch(i))));
+
+  for (aig::Var v : g.cone(roots)) {
+    if (map[v] != aig::kNullLit) continue;
+    const aig::Node& n = g.node(v);
+    if (n.type != aig::NodeType::kAnd)
+      throw std::logic_error("rewrite: unregistered leaf in cone");
+    auto fanin = [&](aig::Lit f) {
+      return aig::lit_xor(map[aig::lit_var(f)], aig::lit_sign(f));
+    };
+    map[v] = builder.make_and(fanin(n.fanin0), fanin(n.fanin1));
+  }
+  out.roots.reserve(roots.size());
+  for (aig::Lit r : roots)
+    out.roots.push_back(aig::lit_xor(map[aig::lit_var(r)], aig::lit_sign(r)));
+  return out;
+}
+
+}  // namespace itpseq::opt

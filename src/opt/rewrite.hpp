@@ -1,0 +1,54 @@
+// rewrite.hpp — local two-level AIG rewriting.
+//
+// Implements the classic two-level AND-node optimization rules
+// (Brummayer/Biere style): when building n = AND(a, b), the fanin
+// structure of a and b (one level down, with edge polarities) is examined
+// for contradiction, subsumption, idempotence, absorption, substitution
+// and resolution patterns, each of which replaces n by a strictly smaller
+// expression:
+//
+//   positive/positive:  (x&y) & (x'&z)        -> FALSE    (contradiction)
+//                       (x&y) & (x&z)         -> (x&y)&z  (sharing)
+//   literal/positive:   x & (x&y)             -> x&y      (absorption)
+//                       x & (x'&y)            -> FALSE    (contradiction)
+//   literal/negative:   x & !(x&y)            -> x & !y   (substitution)
+//                       x & !(x'&y)           -> x        (subsumption)
+//   positive/negative:  (x&y) & !(x&z) ... substitution / subsumption via
+//                       the literal rules applied to the shared fanin;
+//   negative/negative:  !(x&y) & !(x&y')      -> !x       (resolution)
+//
+// Rules are applied recursively until a fixpoint, so cones rebuilt through
+// RewriteBuilder never grow and frequently shrink — useful to compact
+// interpolant circuits, whose proof-directed construction is redundant.
+#pragma once
+
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "aig/compact.hpp"
+
+namespace itpseq::opt {
+
+/// AND constructor with two-level rewriting on top of structural hashing.
+class RewriteBuilder {
+ public:
+  explicit RewriteBuilder(aig::Aig& g) : g_(g) {}
+
+  /// Build AND(a, b), applying the two-level rules.
+  aig::Lit make_and(aig::Lit a, aig::Lit b);
+  aig::Lit make_or(aig::Lit a, aig::Lit b) {
+    return aig::lit_not(make_and(aig::lit_not(a), aig::lit_not(b)));
+  }
+
+  aig::Aig& graph() { return g_; }
+
+ private:
+  aig::Aig& g_;
+};
+
+/// Rebuild the cone of `roots` through a RewriteBuilder.  Leaves are
+/// recreated in order (same convention as aig::compact).  The result never
+/// has more AND nodes in the root cones than the original.
+aig::CompactResult rewrite(const aig::Aig& g, const std::vector<aig::Lit>& roots);
+
+}  // namespace itpseq::opt

@@ -1,0 +1,77 @@
+#include "opt/simulate.hpp"
+
+#include <random>
+
+namespace itpseq::opt {
+
+BitParallelSim::BitParallelSim(const aig::Aig& g,
+                               const std::vector<aig::Lit>& roots,
+                               unsigned words, std::uint64_t seed)
+    : g_(g), words_(words ? words : 1) {
+  order_ = g.cone(roots);
+  sig_.resize(g.num_vars());
+  dyn_.resize(g.num_vars(), 0);
+  std::mt19937_64 rng(seed);
+  for (aig::Var v : order_) {
+    sig_[v].assign(words_, 0);
+    const aig::Node& n = g.node(v);
+    switch (n.type) {
+      case aig::NodeType::kConst:
+        break;  // all-zero signature
+      case aig::NodeType::kInput:
+      case aig::NodeType::kLatch:
+        for (unsigned w = 0; w < words_; ++w) sig_[v][w] = rng();
+        break;
+      case aig::NodeType::kAnd: {
+        const auto& s0 = sig_[aig::lit_var(n.fanin0)];
+        const auto& s1 = sig_[aig::lit_var(n.fanin1)];
+        std::uint64_t m0 = aig::lit_sign(n.fanin0) ? ~0ull : 0ull;
+        std::uint64_t m1 = aig::lit_sign(n.fanin1) ? ~0ull : 0ull;
+        for (unsigned w = 0; w < words_; ++w)
+          sig_[v][w] = (s0[w] ^ m0) & (s1[w] ^ m1);
+        break;
+      }
+    }
+  }
+}
+
+std::uint64_t BitParallelSim::class_hash(aig::Var v) const {
+  // Normalize by the first simulated bit so that v and NOT v hash equal.
+  std::uint64_t flip = (sig_[v][0] & 1) ? ~0ull : 0ull;
+  std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a over the words
+  auto mix = [&h](std::uint64_t x) {
+    h ^= x;
+    h *= 0x100000001b3ull;
+    h ^= h >> 29;
+  };
+  for (unsigned w = 0; w < words_; ++w) mix(sig_[v][w] ^ flip);
+  if (dyn_bits_ > 0) {
+    std::uint64_t mask = dyn_bits_ == 64 ? ~0ull : (1ull << dyn_bits_) - 1;
+    mix((dyn_[v] ^ flip) & mask);
+  }
+  return h;
+}
+
+bool BitParallelSim::same_signature(aig::Lit a, aig::Lit b) const {
+  aig::Var va = aig::lit_var(a), vb = aig::lit_var(b);
+  std::uint64_t fa = aig::lit_sign(a) ? ~0ull : 0ull;
+  std::uint64_t fb = aig::lit_sign(b) ? ~0ull : 0ull;
+  for (unsigned w = 0; w < words_; ++w)
+    if ((sig_[va][w] ^ fa) != (sig_[vb][w] ^ fb)) return false;
+  if (dyn_bits_ > 0) {
+    std::uint64_t mask = dyn_bits_ == 64 ? ~0ull : (1ull << dyn_bits_) - 1;
+    if (((dyn_[va] ^ fa) & mask) != ((dyn_[vb] ^ fb) & mask)) return false;
+  }
+  return true;
+}
+
+void BitParallelSim::flush_dynamic() {
+  for (aig::Var v : order_) {
+    sig_[v].push_back(dyn_[v]);
+    dyn_[v] = 0;
+  }
+  ++words_;
+  dyn_bits_ = 0;
+}
+
+}  // namespace itpseq::opt

@@ -1,0 +1,95 @@
+// simulate.hpp — bit-parallel (64-way) random simulation of AIG cones.
+//
+// The simulator assigns every *leaf* (input or latch) a vector of 64-bit
+// pattern words and propagates them through the AND structure, yielding a
+// multi-word *signature* per variable.  Equal (or complementary) signatures
+// are a necessary condition for functional equivalence, which makes the
+// simulator the candidate-producing half of SAT sweeping (see fraig.hpp).
+//
+// Counterexample patterns found by SAT checks are accumulated bit-by-bit in
+// a dynamic word, so one cheap single-word resimulation refines the
+// signatures after each disproved candidate (the classic ABC scheme).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "aig/aig.hpp"
+
+namespace itpseq::opt {
+
+class BitParallelSim {
+ public:
+  /// Simulate the cone of `roots` in `g` with `words` random 64-bit words
+  /// per leaf, drawn from `seed`.  Only variables in the cone carry
+  /// signatures.
+  BitParallelSim(const aig::Aig& g, const std::vector<aig::Lit>& roots,
+                 unsigned words, std::uint64_t seed);
+
+  /// Number of static signature words (excludes the dynamic word).
+  unsigned words() const { return words_; }
+
+  /// True iff v is inside the simulated cone.
+  bool in_cone(aig::Var v) const {
+    return v < sig_.size() && !sig_[v].empty();
+  }
+
+  /// Signature word w of variable v (phase of the *variable*, not of any
+  /// literal).  w < words().
+  std::uint64_t word(aig::Var v, unsigned w) const { return sig_[v][w]; }
+
+  /// Signature of a literal (complemented for negative literals).
+  std::uint64_t lit_word(aig::Lit l, unsigned w) const {
+    std::uint64_t s = word(aig::lit_var(l), w);
+    return aig::lit_sign(l) ? ~s : s;
+  }
+
+  /// 64-bit hash of the *normalized* signature of v: complement-invariant,
+  /// so v and NOT v land in the same candidate class.
+  std::uint64_t class_hash(aig::Var v) const;
+
+  /// True iff literals a and b have identical signatures (all words,
+  /// including the dynamic word).
+  bool same_signature(aig::Lit a, aig::Lit b) const;
+
+  /// Append one counterexample pattern: `leaf_value(v)` gives the value of
+  /// each cone leaf.  Patterns accumulate in a dynamic word; when 64 have
+  /// accumulated the word is frozen into the static signature and a new
+  /// dynamic word starts.
+  template <typename F>
+  void add_pattern(F leaf_value) {
+    if (dyn_bits_ == 64) flush_dynamic();
+    std::uint64_t bit = 1ull << dyn_bits_;
+    for (aig::Var v : order_) {
+      const aig::Node& n = g_.node(v);
+      bool val;
+      if (n.type == aig::NodeType::kAnd) {
+        val = ((dyn_[aig::lit_var(n.fanin0)] ^
+                (aig::lit_sign(n.fanin0) ? ~0ull : 0ull)) &
+               (dyn_[aig::lit_var(n.fanin1)] ^
+                (aig::lit_sign(n.fanin1) ? ~0ull : 0ull)) & bit) != 0;
+      } else if (n.type == aig::NodeType::kConst) {
+        val = false;
+      } else {
+        val = leaf_value(v);
+      }
+      if (val)
+        dyn_[v] |= bit;
+      else
+        dyn_[v] &= ~bit;
+    }
+    ++dyn_bits_;
+  }
+
+ private:
+  void flush_dynamic();
+
+  const aig::Aig& g_;
+  std::vector<aig::Var> order_;                 // cone in topo order
+  std::vector<std::vector<std::uint64_t>> sig_; // per var, `words_` words
+  std::vector<std::uint64_t> dyn_;              // dynamic word per var
+  unsigned words_;
+  unsigned dyn_bits_ = 0;
+};
+
+}  // namespace itpseq::opt

@@ -1,0 +1,97 @@
+#include "sat/dimacs.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "sat/solver.hpp"
+
+namespace itpseq::sat {
+
+DimacsProblem read_dimacs(std::istream& in) {
+  DimacsProblem p;
+  std::string line;
+  bool header_seen = false;
+  std::uint32_t current_label = 0;
+  std::size_t expected_clauses = 0;
+  std::vector<Lit> clause;
+
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == 'c') {
+      std::istringstream cs(line);
+      std::string c, word;
+      cs >> c >> word;
+      if (word == "part") {
+        if (!(cs >> current_label))
+          throw std::runtime_error("dimacs: malformed 'c part' line");
+      }
+      continue;
+    }
+    if (line[0] == 'p') {
+      std::istringstream ps(line);
+      std::string ptok, fmt;
+      if (!(ps >> ptok >> fmt >> p.num_vars >> expected_clauses) || fmt != "cnf")
+        throw std::runtime_error("dimacs: bad problem line");
+      header_seen = true;
+      continue;
+    }
+    if (!header_seen) throw std::runtime_error("dimacs: clause before header");
+    std::istringstream ls(line);
+    long long v;
+    while (ls >> v) {
+      if (v == 0) {
+        p.clauses.push_back(clause);
+        p.labels.push_back(current_label);
+        clause.clear();
+      } else {
+        unsigned var_idx = static_cast<unsigned>(v < 0 ? -v : v);
+        if (var_idx > p.num_vars)
+          throw std::runtime_error("dimacs: variable out of range");
+        clause.push_back(mk_lit(var_idx - 1, v < 0));
+      }
+    }
+  }
+  if (!header_seen) throw std::runtime_error("dimacs: missing header");
+  if (!clause.empty()) {
+    // Trailing clause without terminating 0 — accept it.
+    p.clauses.push_back(clause);
+    p.labels.push_back(current_label);
+  }
+  return p;
+}
+
+DimacsProblem read_dimacs_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("dimacs: cannot open '" + path + "'");
+  return read_dimacs(in);
+}
+
+void write_dimacs(const DimacsProblem& p, std::ostream& out) {
+  out << "p cnf " << p.num_vars << ' ' << p.clauses.size() << '\n';
+  std::uint32_t current_label = 0;
+  bool labeled = false;
+  for (std::uint32_t l : p.labels)
+    if (l != 0) labeled = true;
+  for (std::size_t i = 0; i < p.clauses.size(); ++i) {
+    if (labeled && p.labels[i] != current_label) {
+      current_label = p.labels[i];
+      out << "c part " << current_label << '\n';
+    }
+    for (Lit l : p.clauses[i])
+      out << (sign(l) ? -static_cast<long long>(var(l) + 1)
+                      : static_cast<long long>(var(l) + 1))
+          << ' ';
+    out << "0\n";
+  }
+}
+
+bool load_dimacs(const DimacsProblem& p, Solver& solver) {
+  while (solver.num_vars() < p.num_vars) solver.new_var();
+  bool ok = true;
+  for (std::size_t i = 0; i < p.clauses.size(); ++i)
+    ok = solver.add_clause(p.clauses[i], p.labels[i]) && ok;
+  return ok;
+}
+
+}  // namespace itpseq::sat

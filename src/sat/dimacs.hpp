@@ -1,0 +1,35 @@
+// dimacs.hpp — DIMACS CNF reader/writer for the SAT solver.
+//
+// Lets the solver run as a standalone tool on standard CNF benchmarks and
+// lets partitioned problems round-trip for external debugging.  An optional
+// "c part <n>" comment line sets the partition label of all following
+// clauses (an informal convention for interpolation test cases).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sat/types.hpp"
+
+namespace itpseq::sat {
+
+struct DimacsProblem {
+  unsigned num_vars = 0;
+  std::vector<std::vector<Lit>> clauses;
+  std::vector<std::uint32_t> labels;  // per clause; 0 when unlabeled
+};
+
+/// Parse DIMACS from a stream.  Throws std::runtime_error on syntax errors.
+DimacsProblem read_dimacs(std::istream& in);
+DimacsProblem read_dimacs_file(const std::string& path);
+
+/// Write DIMACS (with "c part" labels when any label is nonzero).
+void write_dimacs(const DimacsProblem& p, std::ostream& out);
+
+/// Load a problem into a solver (creating variables as needed).
+/// Returns false if an empty clause made the formula trivially UNSAT.
+class Solver;
+bool load_dimacs(const DimacsProblem& p, Solver& solver);
+
+}  // namespace itpseq::sat

@@ -1,0 +1,259 @@
+#include "sat/preprocess.hpp"
+
+#include <algorithm>
+
+namespace itpseq::sat {
+
+Preprocessor::Preprocessor(unsigned num_vars)
+    : num_vars_(num_vars),
+      occ_(2 * static_cast<std::size_t>(num_vars)),
+      frozen_(num_vars, false),
+      eliminated_(num_vars, false) {}
+
+std::uint64_t Preprocessor::sig_of(const std::vector<Lit>& lits) {
+  std::uint64_t s = 0;
+  for (Lit l : lits) s |= 1ull << (l & 63);
+  return s;
+}
+
+bool Preprocessor::tautology(const std::vector<Lit>& lits) const {
+  for (std::size_t i = 0; i + 1 < lits.size(); ++i)
+    if (lits[i + 1] == neg(lits[i])) return true;  // lits sorted
+  return false;
+}
+
+void Preprocessor::add_clause(std::vector<Lit> lits) {
+  std::sort(lits.begin(), lits.end());
+  lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+  if (tautology(lits)) return;
+  if (lits.empty()) {
+    unsat_ = true;
+    return;
+  }
+  ++stats_.clauses_in;
+  Clause c;
+  c.signature = sig_of(lits);
+  c.lits = std::move(lits);
+  db_.push_back(std::move(c));
+  attach(db_.size() - 1);
+}
+
+void Preprocessor::freeze(Var v) { frozen_[v] = true; }
+
+void Preprocessor::attach(std::size_t idx) {
+  for (Lit l : db_[idx].lits) occ_[l].push_back(idx);
+}
+
+void Preprocessor::detach(std::size_t idx) {
+  for (Lit l : db_[idx].lits) {
+    auto& v = occ_[l];
+    v.erase(std::remove(v.begin(), v.end(), idx), v.end());
+  }
+}
+
+void Preprocessor::remove_clause(std::size_t idx) {
+  detach(idx);
+  db_[idx].deleted = true;
+  db_[idx].lits.clear();
+}
+
+bool Preprocessor::add_derived(std::vector<Lit> lits) {
+  std::sort(lits.begin(), lits.end());
+  lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+  if (tautology(lits)) return false;
+  if (lits.empty()) {
+    unsat_ = true;
+    return true;
+  }
+  Clause c;
+  c.signature = sig_of(lits);
+  c.lits = std::move(lits);
+  db_.push_back(std::move(c));
+  attach(db_.size() - 1);
+  return true;
+}
+
+bool Preprocessor::subsumes(const Clause& c, const Clause& d) {
+  if (c.lits.size() > d.lits.size()) return false;
+  if (c.signature & ~d.signature) return false;
+  // Both sorted: subset test by merge.
+  std::size_t i = 0, j = 0;
+  while (i < c.lits.size() && j < d.lits.size()) {
+    if (c.lits[i] == d.lits[j]) {
+      ++i;
+      ++j;
+    } else if (c.lits[i] > d.lits[j]) {
+      ++j;
+    } else {
+      return false;
+    }
+  }
+  return i == c.lits.size();
+}
+
+Lit Preprocessor::self_subsume_lit(const Clause& c, const Clause& d) {
+  // Find l in c with: (c \ {l}) ∪ {~l} ⊆ d, i.e. c ⊆ d when l is flipped.
+  if (c.lits.size() > d.lits.size()) return kNoLit;
+  Lit flipped = kNoLit;
+  std::size_t i = 0, j = 0;
+  while (i < c.lits.size()) {
+    if (j >= d.lits.size()) return kNoLit;
+    Lit cl = c.lits[i], dl = d.lits[j];
+    if (cl == dl) {
+      ++i;
+      ++j;
+    } else if (neg(cl) == dl && flipped == kNoLit) {
+      flipped = cl;
+      ++i;
+      ++j;
+    } else if (cl > dl) {
+      ++j;
+    } else {
+      return kNoLit;
+    }
+  }
+  return flipped;
+}
+
+bool Preprocessor::subsumption_pass() {
+  bool changed = false;
+  // Use the shortest occurrence list of each clause's literals to find
+  // subsumption candidates.
+  for (std::size_t i = 0; i < db_.size(); ++i) {
+    if (db_[i].deleted) continue;
+    // Pick literal with fewest occurrences.
+    Lit best = db_[i].lits[0];
+    for (Lit l : db_[i].lits)
+      if (occ_[l].size() < occ_[best].size()) best = l;
+    // Candidates: clauses containing `best` (subsumption) …
+    std::vector<std::size_t> cands = occ_[best];
+    for (std::size_t j : cands) {
+      if (j == i || db_[j].deleted || db_[i].deleted) continue;
+      if (subsumes(db_[i], db_[j])) {
+        remove_clause(j);
+        ++stats_.subsumed;
+        changed = true;
+      }
+    }
+    if (db_[i].deleted) continue;
+    // … and clauses containing ~l for some l in c (self-subsumption).
+    for (Lit l : std::vector<Lit>(db_[i].lits)) {
+      if (db_[i].deleted) break;
+      std::vector<std::size_t> neg_cands = occ_[neg(l)];
+      for (std::size_t j : neg_cands) {
+        if (db_[j].deleted || db_[i].deleted) continue;
+        Lit f = self_subsume_lit(db_[i], db_[j]);
+        if (f == kNoLit) continue;
+        // Strengthen d by removing ~f (resolution of c and d on f).
+        std::vector<Lit> strengthened;
+        for (Lit q : db_[j].lits)
+          if (q != neg(f)) strengthened.push_back(q);
+        remove_clause(j);
+        ++stats_.strengthened;
+        changed = true;
+        add_derived(std::move(strengthened));
+        if (unsat_) return true;
+      }
+    }
+  }
+  return changed;
+}
+
+bool Preprocessor::eliminate_var(Var v, int grow, unsigned max_occ) {
+  if (frozen_[v] || eliminated_[v]) return false;
+  const auto& pos = occ_[mk_lit(v, false)];
+  const auto& neg_occ = occ_[mk_lit(v, true)];
+  if (pos.size() > max_occ || neg_occ.size() > max_occ) return false;
+
+  // Build resolvents; bail out if the database would grow too much.
+  std::vector<std::vector<Lit>> resolvents;
+  long budget = static_cast<long>(pos.size() + neg_occ.size()) + grow;
+  for (std::size_t pi : pos) {
+    for (std::size_t ni : neg_occ) {
+      std::vector<Lit> r;
+      for (Lit l : db_[pi].lits)
+        if (var(l) != v) r.push_back(l);
+      for (Lit l : db_[ni].lits)
+        if (var(l) != v) r.push_back(l);
+      std::sort(r.begin(), r.end());
+      r.erase(std::unique(r.begin(), r.end()), r.end());
+      if (tautology(r)) continue;
+      resolvents.push_back(std::move(r));
+      if (static_cast<long>(resolvents.size()) > budget) return false;
+    }
+  }
+
+  // Commit: record original clauses for model extension, then swap.
+  Elimination e;
+  e.var = v;
+  std::vector<std::size_t> to_remove;
+  for (std::size_t idx : pos) to_remove.push_back(idx);
+  for (std::size_t idx : neg_occ) to_remove.push_back(idx);
+  for (std::size_t idx : to_remove) e.clauses.push_back(db_[idx].lits);
+  trail_.push_back(std::move(e));
+  for (std::size_t idx : to_remove) remove_clause(idx);
+  for (auto& r : resolvents) {
+    add_derived(std::move(r));
+    if (unsat_) return true;
+  }
+  eliminated_[v] = true;
+  ++stats_.vars_eliminated;
+  return true;
+}
+
+void Preprocessor::run(int grow, unsigned max_occ) {
+  if (unsat_) return;
+  bool changed = true;
+  int rounds = 0;
+  while (changed && !unsat_ && rounds++ < 8) {
+    changed = subsumption_pass();
+    if (unsat_) break;
+    for (Var v = 0; v < num_vars_ && !unsat_; ++v)
+      changed |= eliminate_var(v, grow, max_occ);
+  }
+  stats_.clauses_out = 0;
+  for (const Clause& c : db_)
+    if (!c.deleted) ++stats_.clauses_out;
+}
+
+std::vector<std::vector<Lit>> Preprocessor::clauses() const {
+  std::vector<std::vector<Lit>> out;
+  for (const Clause& c : db_)
+    if (!c.deleted) out.push_back(c.lits);
+  return out;
+}
+
+void Preprocessor::extend_model(std::vector<LBool>& model) const {
+  if (model.size() < num_vars_) model.resize(num_vars_, LBool::kUndef);
+  for (std::size_t i = trail_.size(); i-- > 0;) {
+    const Elimination& e = trail_[i];
+    // Choose a value for e.var satisfying all recorded clauses.  Every
+    // clause not containing e.var positively/negatively is already
+    // satisfied by the resolvent property; find any violated clause and set
+    // e.var to fix it (default: false).
+    LBool value = LBool::kFalse;
+    for (const auto& cl : e.clauses) {
+      bool sat_without = false;
+      Lit v_lit = kNoLit;
+      for (Lit l : cl) {
+        if (var(l) == e.var) {
+          v_lit = l;
+          continue;
+        }
+        LBool lv = lbool_xor(model[var(l)], sign(l));
+        if (lv == LBool::kTrue) {
+          sat_without = true;
+          break;
+        }
+      }
+      if (!sat_without && v_lit != kNoLit) {
+        value = sign(v_lit) ? LBool::kFalse : LBool::kTrue;
+        // This clause forces the value; by the VE correctness argument the
+        // remaining clauses are then satisfied as well.
+      }
+    }
+    model[e.var] = value;
+  }
+}
+
+}  // namespace itpseq::sat

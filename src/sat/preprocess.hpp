@@ -1,0 +1,96 @@
+// preprocess.hpp — CNF preprocessing (SatELite-style).
+//
+// Implements the classic simplification trio on a clause database:
+//   * subsumption          — drop D when some C ⊆ D;
+//   * self-subsumption     — strengthen D to D \ {¬l} when C \ {l} ⊆ D;
+//   * bounded variable elimination — replace all clauses containing v by
+//     the non-tautological resolvents on v whenever that does not grow the
+//     database beyond a small bound.
+//
+// Eliminated variables are recorded so that a model of the simplified
+// formula can be *extended* to a model of the original one (needed by
+// callers that read counterexamples back).  The preprocessor is a
+// standalone component: it is used in front of proof-free SAT calls (plain
+// BMC, containment checks); interpolating calls keep the original clauses
+// because partition labels must be preserved.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sat/types.hpp"
+
+namespace itpseq::sat {
+
+struct PreprocessStats {
+  unsigned subsumed = 0;
+  unsigned strengthened = 0;
+  unsigned vars_eliminated = 0;
+  unsigned clauses_in = 0;
+  unsigned clauses_out = 0;
+};
+
+class Preprocessor {
+ public:
+  explicit Preprocessor(unsigned num_vars);
+
+  /// Add an original clause (before run()).
+  void add_clause(std::vector<Lit> lits);
+
+  /// Run simplification to fixpoint (or until effort bounds).
+  /// `grow` is the allowed clause-count increase per eliminated variable.
+  void run(int grow = 0, unsigned max_occ = 20);
+
+  /// True when preprocessing derived the empty clause.
+  bool unsat() const { return unsat_; }
+
+  /// Remaining simplified clauses.
+  std::vector<std::vector<Lit>> clauses() const;
+
+  /// Variables that must not be touched (e.g. those the caller needs to
+  /// read back or assume).  Call before run().
+  void freeze(Var v);
+
+  /// Extend a model over the simplified formula to the eliminated
+  /// variables (in reverse elimination order).  `model` is indexed by var
+  /// and entries for eliminated vars are overwritten.
+  void extend_model(std::vector<LBool>& model) const;
+
+  const PreprocessStats& stats() const { return stats_; }
+
+ private:
+  struct Clause {
+    std::vector<Lit> lits;
+    std::uint64_t signature = 0;  // Bloom signature for subsumption tests
+    bool deleted = false;
+  };
+
+  static std::uint64_t sig_of(const std::vector<Lit>& lits);
+  bool tautology(const std::vector<Lit>& lits) const;
+  /// C subsumes D?
+  static bool subsumes(const Clause& c, const Clause& d);
+  /// If C self-subsumes D on exactly one literal, return it (else kNoLit).
+  static Lit self_subsume_lit(const Clause& c, const Clause& d);
+  void attach(std::size_t idx);
+  void detach(std::size_t idx);
+  void remove_clause(std::size_t idx);
+  bool add_derived(std::vector<Lit> lits);
+  bool subsumption_pass();
+  bool eliminate_var(Var v, int grow, unsigned max_occ);
+
+  unsigned num_vars_;
+  std::vector<Clause> db_;
+  std::vector<std::vector<std::size_t>> occ_;  // per literal: clause indices
+  std::vector<bool> frozen_;
+  std::vector<bool> eliminated_;
+  bool unsat_ = false;
+  // Elimination record: (var, clauses containing it) in elimination order.
+  struct Elimination {
+    Var var;
+    std::vector<std::vector<Lit>> clauses;
+  };
+  std::vector<Elimination> trail_;
+  PreprocessStats stats_;
+};
+
+}  // namespace itpseq::sat

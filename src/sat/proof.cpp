@@ -1,0 +1,32 @@
+#include "sat/proof.hpp"
+
+#include <vector>
+
+namespace itpseq::sat {
+
+std::vector<ClauseId> Proof::core() const {
+  std::vector<ClauseId> order;
+  if (final_id_ == kNoClauseId) return order;
+  // Iterative post-order DFS from the final chain.
+  std::vector<std::uint8_t> mark(size(), 0);
+  std::vector<ClauseId> stack{final_id_};
+  while (!stack.empty()) {
+    ClauseId id = stack.back();
+    if (mark[id] == 2) {
+      stack.pop_back();
+      continue;
+    }
+    if (mark[id] == 1) {
+      mark[id] = 2;
+      order.push_back(id);
+      stack.pop_back();
+      continue;
+    }
+    mark[id] = 1;
+    for (ClauseId c : chains_[id].chain)
+      if (mark[c] == 0) stack.push_back(c);
+  }
+  return order;
+}
+
+}  // namespace itpseq::sat

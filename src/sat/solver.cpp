@@ -1,0 +1,684 @@
+#include "sat/solver.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+
+namespace itpseq::sat {
+
+namespace {
+constexpr double kVarDecay = 0.95;
+constexpr double kClauseDecay = 0.999;
+constexpr double kRescaleLimit = 1e100;
+constexpr std::uint32_t kRestartBase = 100;  // conflicts per Luby unit
+}  // namespace
+
+Solver::Solver() = default;
+Solver::~Solver() = default;
+
+void Solver::enable_proof() {
+  if (!clauses_.empty())
+    throw std::logic_error("enable_proof must precede add_clause");
+  if (!proof_) proof_ = std::make_unique<Proof>();
+}
+
+Var Solver::new_var() {
+  Var v = static_cast<Var>(assign_.size());
+  assign_.push_back(LBool::kUndef);
+  var_data_.push_back(VarData{});
+  activity_.push_back(0.0);
+  phase_.push_back(0);
+  heap_pos_.push_back(kNoPos);
+  seen_.push_back(0);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  heap_insert(v);
+  return v;
+}
+
+bool Solver::add_clause(std::vector<Lit> lits, std::uint32_t label) {
+  assert(trail_lim_.empty() && "add_clause only at decision level 0");
+  // Deduplicate and detect tautologies.
+  std::sort(lits.begin(), lits.end());
+  lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+  for (std::size_t i = 0; i + 1 < lits.size(); ++i)
+    if (lits[i + 1] == neg(lits[i])) return true;  // tautology: skip
+  for (Lit l : lits)
+    if (var(l) >= num_vars()) throw std::invalid_argument("add_clause: unknown var");
+  // Skip clauses already satisfied at level 0 (sound for refutation: the
+  // satisfying literal is implied by the remaining formula).
+  for (Lit l : lits)
+    if (value(l) == LBool::kTrue) return true;
+
+  ++num_input_clauses_;
+  ClauseId id = kNoClauseId;
+  if (proof_) id = proof_->add_original(lits, label);
+
+  if (lits.empty()) {
+    ok_ = false;
+    if (proof_ && !proof_->complete()) {
+      ResolutionChain chain;
+      chain.chain.push_back(id);
+      proof_->set_final(std::move(chain));
+    }
+    return false;
+  }
+
+  // Order literals so that non-false ones come first (watch positions).
+  std::stable_partition(lits.begin(), lits.end(),
+                        [&](Lit l) { return value(l) != LBool::kFalse; });
+  std::size_t num_free = 0;
+  while (num_free < lits.size() && value(lits[num_free]) != LBool::kFalse) ++num_free;
+
+  CRef cr = static_cast<CRef>(clauses_.size());
+  Clause c;
+  c.lits = std::move(lits);
+  c.id = id;
+  c.learned = false;
+  clauses_.push_back(std::move(c));
+
+  if (num_free == 0) {
+    // All literals false at level 0: root conflict.
+    if (ok_) {
+      ok_ = false;
+      root_conflict_ = cr;
+    }
+    return false;
+  }
+  if (num_free == 1) {
+    enqueue(clauses_[cr].lits[0], cr);
+    return ok_;
+  }
+  attach(cr);
+  return true;
+}
+
+void Solver::attach(CRef cr) {
+  const Clause& c = clauses_[cr];
+  assert(c.lits.size() >= 2);
+  watches_[c.lits[0]].push_back(Watcher{cr, c.lits[1]});
+  watches_[c.lits[1]].push_back(Watcher{cr, c.lits[0]});
+}
+
+void Solver::detach(CRef cr) {
+  const Clause& c = clauses_[cr];
+  for (int i = 0; i < 2; ++i) {
+    auto& wl = watches_[c.lits[i]];
+    for (std::size_t j = 0; j < wl.size(); ++j)
+      if (wl[j].cref == cr) {
+        wl[j] = wl.back();
+        wl.pop_back();
+        break;
+      }
+  }
+}
+
+void Solver::enqueue(Lit l, CRef reason) {
+  assert(value(l) == LBool::kUndef);
+  Var v = var(l);
+  assign_[v] = sign(l) ? LBool::kFalse : LBool::kTrue;
+  var_data_[v].reason = reason;
+  var_data_[v].level = static_cast<std::uint32_t>(trail_lim_.size());
+  var_data_[v].trail_pos = static_cast<std::uint32_t>(trail_.size());
+  trail_.push_back(l);
+}
+
+Solver::CRef Solver::propagate() {
+  while (qhead_ < trail_.size()) {
+    Lit p = trail_[qhead_++];
+    Lit false_lit = neg(p);  // literal that just became false
+    auto& wl = watches_[false_lit];
+    std::size_t i = 0, j = 0;
+    while (i < wl.size()) {
+      Watcher w = wl[i];
+      if (value(w.blocker) == LBool::kTrue) {
+        wl[j++] = wl[i++];
+        continue;
+      }
+      Clause& c = clauses_[w.cref];
+      auto& ls = c.lits;
+      // Make sure the false literal is at position 1.
+      if (ls[0] == false_lit) std::swap(ls[0], ls[1]);
+      assert(ls[1] == false_lit);
+      ++i;
+      // 0th watch true: clause satisfied.
+      if (value(ls[0]) == LBool::kTrue) {
+        wl[j++] = Watcher{w.cref, ls[0]};
+        continue;
+      }
+      // Look for a replacement watch.
+      bool found = false;
+      for (std::size_t k = 2; k < ls.size(); ++k) {
+        if (value(ls[k]) != LBool::kFalse) {
+          std::swap(ls[1], ls[k]);
+          watches_[ls[1]].push_back(Watcher{w.cref, ls[0]});
+          found = true;
+          break;
+        }
+      }
+      if (found) continue;  // watcher moved away
+      // Clause is unit or conflicting.
+      wl[j++] = Watcher{w.cref, ls[0]};
+      if (value(ls[0]) == LBool::kFalse) {
+        // Conflict: copy remaining watchers and bail out.
+        while (i < wl.size()) wl[j++] = wl[i++];
+        wl.resize(j);
+        qhead_ = trail_.size();
+        return w.cref;
+      }
+      enqueue(ls[0], w.cref);
+      ++stats_.propagations;
+    }
+    wl.resize(j);
+  }
+  return kNoCRef;
+}
+
+void Solver::bump_var(Var v) {
+  activity_[v] += var_inc_;
+  if (activity_[v] > kRescaleLimit) {
+    for (double& a : activity_) a *= 1e-100;
+    var_inc_ *= 1e-100;
+  }
+  if (heap_contains(v)) heap_up(heap_pos_[v]);
+}
+
+void Solver::decay_var_activity() { var_inc_ /= kVarDecay; }
+
+void Solver::bump_clause(Clause& c) {
+  c.activity += clause_inc_;
+  if (c.activity > kRescaleLimit) {
+    for (CRef cr : learned_list_) clauses_[cr].activity *= 1e-100;
+    clause_inc_ *= 1e-100;
+  }
+}
+
+void Solver::decay_clause_activity() { clause_inc_ /= kClauseDecay; }
+
+void Solver::analyze(CRef conflict, std::vector<Lit>& out_learned,
+                     std::uint32_t& out_level, ResolutionChain& out_chain) {
+  out_learned.clear();
+  out_learned.push_back(kNoLit);  // slot for the 1UIP literal
+  out_chain.chain.clear();
+  out_chain.pivots.clear();
+
+  std::uint32_t current = static_cast<std::uint32_t>(trail_lim_.size());
+  int counter = 0;
+  Lit p = kNoLit;
+  std::size_t index = trail_.size();
+  CRef cur = conflict;
+
+  while (true) {
+    Clause& c = clauses_[cur];
+    if (c.learned) bump_clause(c);
+    if (proof_) {
+      if (p == kNoLit) {
+        out_chain.chain.push_back(c.id);
+      } else {
+        out_chain.chain.push_back(c.id);
+        out_chain.pivots.push_back(var(p));
+      }
+    }
+    for (Lit q : c.lits) {
+      if (p != kNoLit && q == p) continue;  // the pivot itself
+      Var v = var(q);
+      if (seen_[v]) continue;
+      assert(value(q) == LBool::kFalse);
+      seen_[v] = 1;
+      bump_var(v);
+      if (var_data_[v].level >= current) {
+        ++counter;
+      } else {
+        // Keep *all* lower-level literals, including level 0, so the logged
+        // resolution chain derives exactly this clause; minimization strips
+        // them with logged resolutions afterwards.
+        out_learned.push_back(q);
+      }
+    }
+    // Find the next current-level literal to resolve on.
+    while (!seen_[var(trail_[index - 1])]) --index;
+    --index;
+    p = trail_[index];
+    seen_[var(p)] = 0;
+    --counter;
+    if (counter == 0) break;
+    cur = var_data_[var(p)].reason;
+    assert(cur != kNoCRef && "non-decision literal must have a reason");
+  }
+  out_learned[0] = neg(p);
+  stats_.learned_literals += out_learned.size();
+
+  // Remember every var marked seen (minimization removes literals from
+  // out_learned but their seen flags must still be cleared afterwards).
+  std::vector<Var> seen_vars;
+  seen_vars.reserve(out_learned.size());
+  for (Lit l : out_learned) seen_vars.push_back(var(l));
+
+  minimize_learned(out_learned, out_chain);
+
+  // Compute backtrack level = max level among non-UIP literals.
+  out_level = 0;
+  std::size_t max_i = 1;
+  for (std::size_t i = 1; i < out_learned.size(); ++i) {
+    std::uint32_t lvl = var_data_[var(out_learned[i])].level;
+    if (lvl > out_level) {
+      out_level = lvl;
+      max_i = i;
+    }
+  }
+  // Put a literal of the backtrack level at position 1 (second watch).
+  if (out_learned.size() > 1) std::swap(out_learned[1], out_learned[max_i]);
+
+  // Clear seen flags (including vars removed by minimization).
+  for (Var v : seen_vars) seen_[v] = 0;
+}
+
+void Solver::minimize_learned(std::vector<Lit>& learned, ResolutionChain& chain) {
+  // A literal l (other than the UIP) is removable when it has a reason
+  // clause all of whose other literals are either in the learned clause or
+  // assigned at level 0.  Removal is a resolution step; every step is
+  // appended to `chain` so the proof stays exact.  Introduced level-0
+  // literals are resolved away transitively (their reasons only contain
+  // level-0 literals, so the closure terminates).
+  std::vector<Lit> kept;
+  kept.push_back(learned[0]);
+  std::vector<std::uint32_t> to_resolve;  // trail positions, processed descending
+
+  for (std::size_t i = 1; i < learned.size(); ++i) {
+    Lit l = learned[i];
+    Var v = var(l);
+    CRef r = var_data_[v].reason;
+    bool removable = false;
+    if (r != kNoCRef) {
+      removable = true;
+      for (Lit q : clauses_[r].lits) {
+        if (var(q) == v) continue;
+        if (!seen_[var(q)] && var_data_[var(q)].level != 0) {
+          removable = false;
+          break;
+        }
+      }
+    }
+    if (removable) {
+      to_resolve.push_back(var_data_[v].trail_pos);
+      ++stats_.minimized_literals;
+    } else {
+      kept.push_back(l);
+    }
+  }
+  if (to_resolve.empty()) {
+    learned.swap(kept);
+    return;
+  }
+  // seen_ still marks all original learned-clause vars; mark kept-only set
+  // separately for the closure test.
+  std::vector<Var> kept_vars;
+  for (Lit l : kept) kept_vars.push_back(var(l));
+
+  if (proof_) {
+    std::vector<std::uint8_t> queued(num_vars(), 0);
+    // kept vars never enter the worklist; removed/introduced ones do.
+    for (std::uint32_t pos : to_resolve) queued[var(trail_[pos])] = 1;
+    std::make_heap(to_resolve.begin(), to_resolve.end());
+    while (!to_resolve.empty()) {
+      std::pop_heap(to_resolve.begin(), to_resolve.end());
+      std::uint32_t pos = to_resolve.back();
+      to_resolve.pop_back();
+      Lit assigned = trail_[pos];
+      Var v = var(assigned);
+      CRef r = var_data_[v].reason;
+      assert(r != kNoCRef);
+      chain.chain.push_back(clauses_[r].id);
+      chain.pivots.push_back(v);
+      for (Lit q : clauses_[r].lits) {
+        Var qv = var(q);
+        if (qv == v || queued[qv]) continue;
+        bool in_kept = false;
+        for (Var kv : kept_vars)
+          if (kv == qv) {
+            in_kept = true;
+            break;
+          }
+        if (in_kept) continue;
+        // Introduced literal: must be level 0 (criterion) or a clause var
+        // that was removed (already queued).  Resolve it away too.
+        assert(var_data_[qv].level == 0 || seen_[qv]);
+        queued[qv] = 1;
+        to_resolve.push_back(var_data_[qv].trail_pos);
+        std::push_heap(to_resolve.begin(), to_resolve.end());
+      }
+    }
+  }
+  learned.swap(kept);
+}
+
+void Solver::analyze_final(CRef conflict) {
+  // Derive the empty clause from a clause falsified at decision level 0.
+  if (!proof_ || proof_->complete()) return;
+  ResolutionChain chain;
+  chain.chain.push_back(clauses_[conflict].id);
+  std::vector<std::uint32_t> work;
+  std::vector<std::uint8_t> queued(num_vars(), 0);
+  for (Lit q : clauses_[conflict].lits) {
+    Var v = var(q);
+    assert(var_data_[v].level == 0);
+    if (!queued[v]) {
+      queued[v] = 1;
+      work.push_back(var_data_[v].trail_pos);
+    }
+  }
+  std::make_heap(work.begin(), work.end());
+  while (!work.empty()) {
+    std::pop_heap(work.begin(), work.end());
+    std::uint32_t pos = work.back();
+    work.pop_back();
+    Var v = var(trail_[pos]);
+    CRef r = var_data_[v].reason;
+    assert(r != kNoCRef && "level-0 assignments always have reasons");
+    chain.chain.push_back(clauses_[r].id);
+    chain.pivots.push_back(v);
+    for (Lit q : clauses_[r].lits) {
+      Var qv = var(q);
+      if (qv == v || queued[qv]) continue;
+      queued[qv] = 1;
+      work.push_back(var_data_[qv].trail_pos);
+      std::push_heap(work.begin(), work.end());
+    }
+  }
+  proof_->set_final(std::move(chain));
+}
+
+void Solver::analyze_assumption(Lit failed) {
+  // Collect an inconsistent subset of the assumptions by walking the
+  // implication graph from the falsified assumption backwards.  All
+  // decisions on the trail at this point are assumptions.
+  failed_.clear();
+  failed_.push_back(failed);
+  seen_[var(failed)] = 1;
+  for (std::size_t i = trail_.size(); i-- > 0;) {
+    Var v = var(trail_[i]);
+    if (!seen_[v]) continue;
+    CRef r = var_data_[v].reason;
+    if (r == kNoCRef) {
+      if (trail_[i] != failed) failed_.push_back(trail_[i]);
+    } else {
+      for (Lit q : clauses_[r].lits)
+        if (var(q) != v) seen_[var(q)] = 1;
+    }
+    seen_[v] = 0;
+  }
+}
+
+void Solver::backtrack(std::uint32_t level) {
+  if (trail_lim_.size() <= level) return;
+  std::uint32_t bound = trail_lim_[level];
+  for (std::size_t i = trail_.size(); i > bound; --i) {
+    Lit l = trail_[i - 1];
+    Var v = var(l);
+    phase_[v] = sign(l) ? 0 : 1;  // save polarity
+    assign_[v] = LBool::kUndef;
+    if (!heap_contains(v)) heap_insert(v);
+  }
+  trail_.resize(bound);
+  trail_lim_.resize(level);
+  qhead_ = bound;
+}
+
+Lit Solver::pick_branch() {
+  while (!heap_.empty()) {
+    Var v = heap_pop();
+    if (assign_[v] == LBool::kUndef)
+      return mk_lit(v, phase_[v] == 0);  // saved phase (default negative)
+  }
+  return kNoLit;
+}
+
+void Solver::reduce_db() {
+  ++stats_.db_reductions;
+  std::vector<CRef> live;
+  live.reserve(learned_list_.size());
+  for (CRef cr : learned_list_)
+    if (!clauses_[cr].deleted) live.push_back(cr);
+  std::sort(live.begin(), live.end(), [&](CRef a, CRef b) {
+    return clauses_[a].activity < clauses_[b].activity;
+  });
+  std::size_t target = live.size() / 2;
+  std::size_t removed = 0;
+  for (CRef cr : live) {
+    if (removed >= target) break;
+    Clause& c = clauses_[cr];
+    if (c.lits.size() <= 2) continue;
+    // Never delete a clause that is currently a reason ("locked").
+    Lit l0 = c.lits[0];
+    if (value(l0) == LBool::kTrue && var_data_[var(l0)].reason != kNoCRef &&
+        &clauses_[var_data_[var(l0)].reason] == &c)
+      continue;
+    detach(cr);
+    c.deleted = true;
+    c.lits.clear();
+    c.lits.shrink_to_fit();
+    ++removed;
+  }
+  learned_list_.erase(std::remove_if(learned_list_.begin(), learned_list_.end(),
+                                     [&](CRef cr) { return clauses_[cr].deleted; }),
+                      learned_list_.end());
+}
+
+double Solver::luby(std::uint64_t i) const {
+  // Luby sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+  std::uint64_t size = 1, seq = 0;
+  while (size < i + 1) {
+    ++seq;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != i) {
+    size = (size - 1) >> 1;
+    --seq;
+    i = i % size;
+  }
+  return static_cast<double>(1ull << seq);
+}
+
+Status Solver::solve(const Budget& budget) { return solve_assuming({}, budget); }
+
+Status Solver::solve_assuming(const std::vector<Lit>& assumptions,
+                              const Budget& budget) {
+  if (proof_ && !assumptions.empty())
+    throw std::logic_error("assumptions are incompatible with proof logging");
+  assumptions_ = assumptions;
+  failed_.clear();
+  backtrack(0);  // a previous kUnknown may have left the search mid-tree
+  auto start = std::chrono::steady_clock::now();
+  auto out_of_time = [&] {
+    if (budget.seconds < 0) return false;
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+               .count() > budget.seconds;
+  };
+
+  if (!ok_) {
+    if (proof_ && !proof_->complete() && root_conflict_ != kNoCRef) {
+      // Flush pending units so reasons exist, then finalize.
+      propagate();  // cannot make things worse at level 0
+      analyze_final(root_conflict_);
+    }
+    return Status::kUnsat;
+  }
+
+  std::int64_t conflict_limit = budget.conflicts;
+  std::uint64_t restart_count = 0;
+  std::uint64_t conflicts_until_restart =
+      static_cast<std::uint64_t>(luby(restart_count) * kRestartBase);
+  std::uint64_t conflicts_this_restart = 0;
+  max_learned_ = std::max<double>(1000.0, static_cast<double>(num_input_clauses_) / 3.0);
+
+  std::vector<Lit> learned;
+  ResolutionChain chain;
+
+  while (true) {
+    CRef conflict = propagate();
+    if (conflict != kNoCRef) {
+      ++stats_.conflicts;
+      ++conflicts_this_restart;
+      if (trail_lim_.empty()) {
+        analyze_final(conflict);
+        ok_ = false;
+        return Status::kUnsat;
+      }
+      std::uint32_t bt_level = 0;
+      analyze(conflict, learned, bt_level, chain);
+      backtrack(bt_level);
+
+      ClauseId id = kNoClauseId;
+      if (proof_) id = proof_->add_learned(learned, std::move(chain));
+      chain = ResolutionChain{};
+
+      if (learned.size() == 1) {
+        // Unit learned clause: store it so it can serve as a reason.
+        CRef cr = static_cast<CRef>(clauses_.size());
+        Clause c;
+        c.lits = learned;
+        c.id = id;
+        c.learned = true;
+        clauses_.push_back(std::move(c));
+        enqueue(learned[0], cr);
+      } else {
+        CRef cr = static_cast<CRef>(clauses_.size());
+        Clause c;
+        c.lits = learned;
+        c.id = id;
+        c.learned = true;
+        c.activity = clause_inc_;
+        clauses_.push_back(std::move(c));
+        learned_list_.push_back(cr);
+        attach(cr);
+        enqueue(learned[0], cr);
+      }
+      decay_var_activity();
+      decay_clause_activity();
+
+      if (conflict_limit >= 0 &&
+          stats_.conflicts >= static_cast<std::uint64_t>(conflict_limit)) {
+        backtrack(0);
+        return Status::kUnknown;
+      }
+      if ((stats_.conflicts & 255) == 0 && out_of_time()) {
+        backtrack(0);
+        return Status::kUnknown;
+      }
+    } else {
+      if (conflicts_this_restart >= conflicts_until_restart) {
+        ++stats_.restarts;
+        ++restart_count;
+        conflicts_this_restart = 0;
+        conflicts_until_restart =
+            static_cast<std::uint64_t>(luby(restart_count) * kRestartBase);
+        backtrack(0);
+        continue;
+      }
+      if (static_cast<double>(learned_list_.size()) >= max_learned_) {
+        reduce_db();
+        max_learned_ *= 1.3;
+      }
+      // Assumptions are decided first, in order, one per decision level.
+      Lit next = kNoLit;
+      while (trail_lim_.size() < assumptions_.size()) {
+        Lit a = assumptions_[trail_lim_.size()];
+        if (value(a) == LBool::kTrue) {
+          // Already implied: open a dummy level to keep positions aligned.
+          trail_lim_.push_back(static_cast<std::uint32_t>(trail_.size()));
+          continue;
+        }
+        if (value(a) == LBool::kFalse) {
+          analyze_assumption(a);
+          backtrack(0);
+          return Status::kUnsat;  // unsat under assumptions; ok() stays true
+        }
+        next = a;
+        break;
+      }
+      if (next == kNoLit) next = pick_branch();
+      if (next == kNoLit) {
+        model_.assign(assign_.begin(), assign_.end());
+        backtrack(0);
+        return Status::kSat;
+      }
+      if ((stats_.decisions & 1023) == 0 && out_of_time()) {
+        backtrack(0);
+        return Status::kUnknown;
+      }
+      ++stats_.decisions;
+      trail_lim_.push_back(static_cast<std::uint32_t>(trail_.size()));
+      enqueue(next, kNoCRef);
+    }
+  }
+}
+
+bool Solver::verify_model() const {
+  for (const Clause& c : clauses_) {
+    if (c.learned || c.deleted) continue;
+    bool sat = false;
+    for (Lit l : c.lits)
+      if (lbool_xor(model_[var(l)], sign(l)) == LBool::kTrue) {
+        sat = true;
+        break;
+      }
+    if (!sat && !c.lits.empty()) return false;
+  }
+  return true;
+}
+
+// --- activity heap ---------------------------------------------------------
+
+void Solver::heap_insert(Var v) {
+  heap_pos_[v] = heap_.size();
+  heap_.push_back(v);
+  heap_up(heap_pos_[v]);
+}
+
+Var Solver::heap_pop() {
+  Var top = heap_[0];
+  heap_pos_[top] = kNoPos;
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_pos_[heap_[0]] = 0;
+    heap_down(0);
+  }
+  return top;
+}
+
+void Solver::heap_up(std::size_t i) {
+  Var v = heap_[i];
+  while (i > 0) {
+    std::size_t parent = (i - 1) / 2;
+    if (activity_[heap_[parent]] >= activity_[v]) break;
+    heap_[i] = heap_[parent];
+    heap_pos_[heap_[i]] = i;
+    i = parent;
+  }
+  heap_[i] = v;
+  heap_pos_[v] = i;
+}
+
+void Solver::heap_down(std::size_t i) {
+  Var v = heap_[i];
+  while (true) {
+    std::size_t left = 2 * i + 1;
+    if (left >= heap_.size()) break;
+    std::size_t right = left + 1;
+    std::size_t best = (right < heap_.size() &&
+                        activity_[heap_[right]] > activity_[heap_[left]])
+                           ? right
+                           : left;
+    if (activity_[heap_[best]] <= activity_[v]) break;
+    heap_[i] = heap_[best];
+    heap_pos_[heap_[i]] = i;
+    i = best;
+  }
+  heap_[i] = v;
+  heap_pos_[v] = i;
+}
+
+}  // namespace itpseq::sat

@@ -1,0 +1,186 @@
+// solver.hpp — CDCL SAT solver with resolution proof logging.
+//
+// A MiniSat-lineage solver: two-watched-literal propagation, first-UIP
+// conflict analysis with chain-logged clause minimization, VSIDS decision
+// heuristic with phase saving, Luby restarts and activity-based learned
+// clause database reduction.
+//
+// The distinctive feature is *proof logging*: when enabled, every learned
+// clause records the trivial resolution chain that derives it, and an UNSAT
+// answer comes with a complete refutation of the input clauses
+// (see sat/proof.hpp).  Interpolants and interpolation sequences are then
+// extracted from this proof (itp/interpolate.hpp).
+//
+// Usage is one-shot: create, new_var/add_clause, solve().  Model-checking
+// engines build a fresh solver per query, which keeps proof bookkeeping
+// simple and is how the original interpolation papers operate.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sat/proof.hpp"
+#include "sat/types.hpp"
+
+namespace itpseq::sat {
+
+/// Resource limits for one solve() call.  Negative means unlimited.
+struct Budget {
+  std::int64_t conflicts = -1;
+  double seconds = -1.0;
+};
+
+/// Solver statistics, exposed for benchmarks and engine diagnostics.
+struct SolverStats {
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t learned_literals = 0;
+  std::uint64_t minimized_literals = 0;
+  std::uint64_t db_reductions = 0;
+};
+
+class Solver {
+ public:
+  Solver();
+  ~Solver();
+  Solver(const Solver&) = delete;
+  Solver& operator=(const Solver&) = delete;
+
+  /// Enable resolution proof logging.  Must be called before any add_clause.
+  void enable_proof();
+  bool proof_enabled() const { return proof_ != nullptr; }
+
+  /// Create a fresh variable; returns its index.
+  Var new_var();
+  std::size_t num_vars() const { return assign_.size(); }
+
+  /// Add an input clause.  `label` tags the clause's partition (time frame)
+  /// for interpolation.  Returns false iff the formula is already trivially
+  /// unsatisfiable at level 0 (solve() will still produce a proof).
+  /// Clauses may also be added *between* solve() calls (incremental use).
+  bool add_clause(std::vector<Lit> lits, std::uint32_t label = 0);
+
+  /// Solve the accumulated formula.
+  Status solve(const Budget& budget = {});
+
+  /// Solve under assumptions (incremental interface).  kUnsat with a
+  /// non-empty assumption set means "unsatisfiable under these
+  /// assumptions"; failed_assumptions() then returns a subset sufficient
+  /// for the conflict.  Without assumptions kUnsat is final (ok() false).
+  /// Incompatible with proof logging (throws std::logic_error).
+  Status solve_assuming(const std::vector<Lit>& assumptions,
+                        const Budget& budget = {});
+
+  /// After solve_assuming() == kUnsat: an inconsistent subset of the
+  /// assumptions (the "core"; not necessarily minimal).
+  const std::vector<Lit>& failed_assumptions() const { return failed_; }
+
+  /// False once the clause set itself (independent of assumptions) has been
+  /// refuted; further solves return kUnsat immediately.
+  bool ok() const { return ok_; }
+
+  /// After kSat: value of a variable in the model.
+  bool model_value(Var v) const { return model_[v] == LBool::kTrue; }
+  /// After kSat: full model (indexed by var).
+  const std::vector<LBool>& model() const { return model_; }
+
+  /// After kUnsat with proof logging: the refutation.
+  const Proof& proof() const { return *proof_; }
+
+  const SolverStats& stats() const { return stats_; }
+
+  /// Check that a full assignment satisfies every input clause (debugging).
+  bool verify_model() const;
+
+ private:
+  struct Clause {
+    std::vector<Lit> lits;
+    ClauseId id = kNoClauseId;
+    double activity = 0.0;
+    bool learned = false;
+    bool deleted = false;
+  };
+  using CRef = std::uint32_t;
+  static constexpr CRef kNoCRef = 0xffffffffu;
+
+  struct Watcher {
+    CRef cref;
+    Lit blocker;  // fast satisfied-check before touching the clause
+  };
+
+  struct VarData {
+    CRef reason = kNoCRef;
+    std::uint32_t level = 0;
+    std::uint32_t trail_pos = 0;
+  };
+
+  LBool value(Lit l) const { return lbool_xor(assign_[var(l)], sign(l)); }
+  LBool value_var(Var v) const { return assign_[v]; }
+
+  void attach(CRef cr);
+  void detach(CRef cr);
+  void enqueue(Lit l, CRef reason);
+  CRef propagate();
+  void analyze(CRef conflict, std::vector<Lit>& out_learned, std::uint32_t& out_level,
+               ResolutionChain& out_chain);
+  void minimize_learned(std::vector<Lit>& learned, ResolutionChain& chain);
+  void analyze_final(CRef conflict);  // derive empty clause at level 0
+  void analyze_assumption(Lit failed);  // collect the failed-assumption core
+  void backtrack(std::uint32_t level);
+  Lit pick_branch();
+  void bump_var(Var v);
+  void decay_var_activity();
+  void bump_clause(Clause& c);
+  void decay_clause_activity();
+  void reduce_db();
+  void heap_insert(Var v);
+  Var heap_pop();
+  void heap_up(std::size_t i);
+  void heap_down(std::size_t i);
+  bool heap_contains(Var v) const { return heap_pos_[v] != kNoPos; }
+  double luby(std::uint64_t i) const;
+
+  // clause storage ---------------------------------------------------------
+  std::vector<Clause> clauses_;              // arena of all clauses
+  std::vector<CRef> learned_list_;           // indices of learned clauses
+  std::size_t num_input_clauses_ = 0;
+
+  // assignment -------------------------------------------------------------
+  std::vector<LBool> assign_;
+  std::vector<VarData> var_data_;
+  std::vector<Lit> trail_;
+  std::vector<std::uint32_t> trail_lim_;     // decision-level boundaries
+  std::size_t qhead_ = 0;
+
+  // watches: watches_[lit] = clauses watching lit (i.e. containing ~lit ...
+  // MiniSat convention: watches_[l] holds clauses that watch literal l,
+  // scanned when l becomes false).
+  std::vector<std::vector<Watcher>> watches_;
+
+  // heuristics -------------------------------------------------------------
+  std::vector<double> activity_;
+  std::vector<std::uint8_t> phase_;          // saved polarity per var
+  double var_inc_ = 1.0;
+  double clause_inc_ = 1.0;
+  static constexpr std::size_t kNoPos = static_cast<std::size_t>(-1);
+  std::vector<Var> heap_;
+  std::vector<std::size_t> heap_pos_;
+
+  // analysis scratch -------------------------------------------------------
+  std::vector<std::uint8_t> seen_;
+
+  // state ------------------------------------------------------------------
+  bool ok_ = true;                           // false once root-level conflict found
+  CRef root_conflict_ = kNoCRef;             // clause falsified at level 0
+  std::vector<Lit> assumptions_;             // active during solve_assuming
+  std::vector<Lit> failed_;                  // assumption core after kUnsat
+  std::vector<LBool> model_;
+  std::unique_ptr<Proof> proof_;
+  SolverStats stats_;
+  double max_learned_ = 0;
+};
+
+}  // namespace itpseq::sat

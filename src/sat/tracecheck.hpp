@@ -1,0 +1,22 @@
+// tracecheck.hpp — export resolution proofs in TRACECHECK format.
+//
+// TRACECHECK is the textual proof-trace format accepted by the classic
+// `tracecheck` verifier (Biere): one line per clause,
+//
+//   <id> <lit>* 0 <antecedent-id>* 0
+//
+// Original clauses have no antecedents; derived clauses list the ids of
+// their resolution chain.  Only the proof core is exported.  Ids are
+// 1-based as the format requires.
+#pragma once
+
+#include <iosfwd>
+
+#include "sat/proof.hpp"
+
+namespace itpseq::sat {
+
+/// Write the core of `proof` (which must be complete) in TRACECHECK format.
+void write_tracecheck(const Proof& proof, std::ostream& out);
+
+}  // namespace itpseq::sat

@@ -1,0 +1,46 @@
+// types.hpp — basic types for the CDCL SAT solver.
+//
+// The solver uses MiniSat-style literal encoding: variable v has positive
+// literal 2v and negative literal 2v+1.  Note this differs from the AIG
+// encoding only in that SAT variable 0 is an ordinary variable, not a
+// constant.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace itpseq::sat {
+
+using Var = std::uint32_t;
+using Lit = std::uint32_t;
+
+inline constexpr Var kNoVar = std::numeric_limits<Var>::max();
+inline constexpr Lit kNoLit = std::numeric_limits<Lit>::max();
+
+constexpr Lit mk_lit(Var v, bool sign = false) {
+  return (v << 1) | static_cast<Lit>(sign);
+}
+constexpr Var var(Lit l) { return l >> 1; }
+constexpr bool sign(Lit l) { return (l & 1u) != 0; }
+constexpr Lit neg(Lit l) { return l ^ 1u; }
+
+/// Three-valued logic for assignments.
+enum class LBool : std::uint8_t { kTrue = 0, kFalse = 1, kUndef = 2 };
+
+inline LBool lbool_xor(LBool b, bool s) {
+  if (b == LBool::kUndef) return b;
+  return static_cast<LBool>(static_cast<std::uint8_t>(b) ^ static_cast<std::uint8_t>(s));
+}
+
+/// Solver verdicts.  kUnknown is returned when a conflict or time budget
+/// expires before a decision is reached.
+enum class Status : std::uint8_t { kSat, kUnsat, kUnknown };
+
+/// Identifier of a clause in the proof log.  Ids are unique over the life of
+/// a solver and never reused, so resolution chains stay valid even after the
+/// learned-clause database is reduced.
+using ClauseId = std::uint32_t;
+inline constexpr ClauseId kNoClauseId = std::numeric_limits<ClauseId>::max();
+
+}  // namespace itpseq::sat

@@ -1,0 +1,306 @@
+// aig_test.cpp — unit tests for the AIG data structure and AIGER I/O.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+#include "aig/aig.hpp"
+#include "aig/aiger_io.hpp"
+
+namespace itpseq::aig {
+namespace {
+
+TEST(Aig, ConstantsAndLiterals) {
+  EXPECT_EQ(lit_var(kFalse), 0u);
+  EXPECT_EQ(lit_not(kFalse), kTrue);
+  EXPECT_EQ(lit_var(var_lit(7, true)), 7u);
+  EXPECT_TRUE(lit_sign(var_lit(7, true)));
+  EXPECT_EQ(lit_xor(var_lit(3), true), var_lit(3, true));
+}
+
+TEST(Aig, AndConstantFolding) {
+  Aig g;
+  Lit a = g.add_input();
+  EXPECT_EQ(g.make_and(a, kFalse), kFalse);
+  EXPECT_EQ(g.make_and(kFalse, a), kFalse);
+  EXPECT_EQ(g.make_and(a, kTrue), a);
+  EXPECT_EQ(g.make_and(a, a), a);
+  EXPECT_EQ(g.make_and(a, lit_not(a)), kFalse);
+  EXPECT_EQ(g.num_ands(), 0u);
+}
+
+TEST(Aig, StructuralHashing) {
+  Aig g;
+  Lit a = g.add_input();
+  Lit b = g.add_input();
+  Lit x = g.make_and(a, b);
+  Lit y = g.make_and(b, a);  // commuted
+  EXPECT_EQ(x, y);
+  EXPECT_EQ(g.num_ands(), 1u);
+  Lit z = g.make_and(a, lit_not(b));
+  EXPECT_NE(x, z);
+  EXPECT_EQ(g.num_ands(), 2u);
+}
+
+TEST(Aig, DerivedOperators) {
+  Aig g;
+  Lit a = g.add_input();
+  Lit b = g.add_input();
+  Lit c = g.add_input();
+  std::vector<bool> vals(g.num_vars() + 64, false);
+  Lit x = g.make_xor(a, b);
+  Lit o = g.make_or(a, b);
+  Lit ite = g.make_ite(c, a, b);
+  Lit eq = g.make_equiv(a, b);
+  for (int m = 0; m < 8; ++m) {
+    vals[lit_var(a)] = m & 1;
+    vals[lit_var(b)] = m & 2;
+    vals[lit_var(c)] = m & 4;
+    bool va = m & 1, vb = (m & 2) != 0, vc = (m & 4) != 0;
+    EXPECT_EQ(g.evaluate(x, vals), va ^ vb);
+    EXPECT_EQ(g.evaluate(o, vals), va || vb);
+    EXPECT_EQ(g.evaluate(ite, vals), vc ? va : vb);
+    EXPECT_EQ(g.evaluate(eq, vals), va == vb);
+  }
+}
+
+TEST(Aig, AndOrMany) {
+  Aig g;
+  std::vector<Lit> ins;
+  for (int i = 0; i < 7; ++i) ins.push_back(g.add_input());
+  Lit all = g.make_and_many(ins);
+  Lit any = g.make_or_many(ins);
+  EXPECT_EQ(g.make_and_many({}), kTrue);
+  EXPECT_EQ(g.make_or_many({}), kFalse);
+  std::vector<bool> vals(g.num_vars(), false);
+  EXPECT_FALSE(g.evaluate(all, vals));
+  EXPECT_FALSE(g.evaluate(any, vals));
+  vals[lit_var(ins[3])] = true;
+  EXPECT_FALSE(g.evaluate(all, vals));
+  EXPECT_TRUE(g.evaluate(any, vals));
+  for (Lit l : ins) vals[lit_var(l)] = true;
+  EXPECT_TRUE(g.evaluate(all, vals));
+}
+
+TEST(Aig, LatchBookkeeping) {
+  Aig g;
+  Lit in = g.add_input("in");
+  Lit l0 = g.add_latch(LatchInit::kZero, "l0");
+  Lit l1 = g.add_latch(LatchInit::kOne, "l1");
+  g.set_latch_next(l0, g.make_xor(l0, in));
+  g.set_latch_next(l1, l0);
+  EXPECT_EQ(g.num_latches(), 2u);
+  EXPECT_EQ(g.latch(0), l0);
+  EXPECT_EQ(g.latch_next(1), l0);
+  EXPECT_EQ(g.latch_init(1), LatchInit::kOne);
+  EXPECT_EQ(g.latch_index(lit_var(l1)), 1u);
+  EXPECT_EQ(g.latch_index(lit_var(in)), Aig::kNoIndex);
+  EXPECT_EQ(g.input_index(lit_var(in)), 0u);
+  EXPECT_EQ(g.name(lit_var(l0)), "l0");
+}
+
+TEST(Aig, SupportAndCone) {
+  Aig g;
+  Lit a = g.add_input();
+  Lit b = g.add_input();
+  Lit c = g.add_input();
+  // One-level strashing does not fold (a&b)&!a structurally, but the
+  // function is constant false.
+  Lit x = g.make_and(g.make_and(a, b), lit_not(a));
+  EXPECT_NE(x, kFalse);
+  std::vector<bool> v(g.num_vars(), false);
+  for (int m = 0; m < 4; ++m) {
+    v[lit_var(a)] = m & 1;
+    v[lit_var(b)] = m & 2;
+    EXPECT_FALSE(g.evaluate(x, v));
+  }
+  Lit y = g.make_or(g.make_and(a, b), c);
+  std::vector<Var> sup = g.support(y);
+  EXPECT_EQ(sup.size(), 3u);
+  EXPECT_EQ(g.cone_size(y), 2u);
+  EXPECT_EQ(g.cone_size(a), 0u);
+}
+
+TEST(Aig, Evaluate64) {
+  Aig g;
+  Lit a = g.add_input();
+  Lit b = g.add_input();
+  Lit x = g.make_xor(a, b);
+  std::vector<std::uint64_t> vals(g.num_vars(), 0);
+  vals[lit_var(a)] = 0xF0F0F0F0F0F0F0F0ull;
+  vals[lit_var(b)] = 0xFF00FF00FF00FF00ull;
+  EXPECT_EQ(g.evaluate64(x, vals), 0xF0F0F0F0F0F0F0F0ull ^ 0xFF00FF00FF00FF00ull);
+  EXPECT_EQ(g.evaluate64(lit_not(x), vals),
+            ~(0xF0F0F0F0F0F0F0F0ull ^ 0xFF00FF00FF00FF00ull));
+}
+
+TEST(Aig, ImportCone) {
+  Aig src;
+  Lit a = src.add_input();
+  Lit b = src.add_input();
+  Lit f = src.make_or(src.make_and(a, b), src.make_xor(a, b));  // = a|b
+
+  Aig dst;
+  Lit x = dst.add_input();
+  Lit y = dst.add_input();
+  std::vector<Lit> map(src.num_vars(), kNullLit);
+  map[lit_var(a)] = lit_not(x);  // leaves can map to arbitrary literals
+  map[lit_var(b)] = y;
+  Lit r = dst.import_cone(src, f, map);
+  std::vector<bool> vals(dst.num_vars(), false);
+  for (int m = 0; m < 4; ++m) {
+    vals[lit_var(x)] = m & 1;
+    vals[lit_var(y)] = m & 2;
+    bool va = !(m & 1), vb = (m & 2) != 0;
+    EXPECT_EQ(dst.evaluate(r, vals), va || vb);
+  }
+}
+
+TEST(Aig, InvalidOperations) {
+  Aig g;
+  Lit in = g.add_input();
+  EXPECT_THROW(g.make_and(in, var_lit(99)), std::invalid_argument);
+  EXPECT_THROW(g.set_latch_next(in, in), std::invalid_argument);
+  EXPECT_THROW(g.add_output(var_lit(42)), std::invalid_argument);
+  Lit l = g.add_latch();
+  EXPECT_THROW(g.set_latch_next(lit_not(l), in), std::invalid_argument);
+}
+
+// --- AIGER I/O --------------------------------------------------------------
+
+Aig example_circuit() {
+  Aig g;
+  Lit i0 = g.add_input("i0");
+  Lit i1 = g.add_input("i1");
+  Lit l0 = g.add_latch(LatchInit::kZero, "l0");
+  Lit l1 = g.add_latch(LatchInit::kOne, "l1");
+  Lit l2 = g.add_latch(LatchInit::kUndef, "l2");
+  g.set_latch_next(l0, g.make_xor(i0, l1));
+  g.set_latch_next(l1, g.make_and(l0, lit_not(i1)));
+  g.set_latch_next(l2, g.make_or(l2, g.make_and(i0, i1)));
+  g.add_output(g.make_and(l0, g.make_and(l1, l2)), "bad");
+  return g;
+}
+
+void expect_equivalent(const Aig& a, const Aig& b) {
+  ASSERT_EQ(a.num_inputs(), b.num_inputs());
+  ASSERT_EQ(a.num_latches(), b.num_latches());
+  ASSERT_EQ(a.num_outputs(), b.num_outputs());
+  // Semantic check by random simulation of one combinational step.
+  std::mt19937_64 rng(42);
+  for (int trial = 0; trial < 64; ++trial) {
+    std::vector<std::uint64_t> va(a.num_vars(), 0), vb(b.num_vars(), 0);
+    for (std::size_t i = 0; i < a.num_inputs(); ++i) {
+      std::uint64_t r = rng();
+      va[lit_var(a.input(i))] = r;
+      vb[lit_var(b.input(i))] = r;
+    }
+    for (std::size_t i = 0; i < a.num_latches(); ++i) {
+      std::uint64_t r = rng();
+      va[lit_var(a.latch(i))] = r;
+      vb[lit_var(b.latch(i))] = r;
+      EXPECT_EQ(a.latch_init(i), b.latch_init(i)) << "latch " << i;
+    }
+    for (std::size_t i = 0; i < a.num_latches(); ++i)
+      EXPECT_EQ(a.evaluate64(a.latch_next(i), va), b.evaluate64(b.latch_next(i), vb))
+          << "next fn of latch " << i;
+    for (std::size_t i = 0; i < a.num_outputs(); ++i)
+      EXPECT_EQ(a.evaluate64(a.output(i), va), b.evaluate64(b.output(i), vb))
+          << "output " << i;
+  }
+}
+
+TEST(AigerIo, AsciiRoundTrip) {
+  Aig g = example_circuit();
+  std::stringstream ss;
+  write_aiger_ascii(g, ss);
+  Aig h = read_aiger(ss);
+  expect_equivalent(g, h);
+  EXPECT_EQ(h.name(lit_var(h.input(0))), "i0");
+  EXPECT_EQ(h.name(lit_var(h.latch(0))), "l0");
+}
+
+TEST(AigerIo, BinaryRoundTrip) {
+  Aig g = example_circuit();
+  std::stringstream ss;
+  write_aiger_binary(g, ss);
+  Aig h = read_aiger(ss);
+  expect_equivalent(g, h);
+}
+
+TEST(AigerIo, BinaryMatchesAsciiSemantics) {
+  Aig g = example_circuit();
+  std::stringstream sa, sb;
+  write_aiger_ascii(g, sa);
+  write_aiger_binary(g, sb);
+  Aig ha = read_aiger(sa);
+  Aig hb = read_aiger(sb);
+  expect_equivalent(ha, hb);
+}
+
+TEST(AigerIo, ParsesBadSection) {
+  // AIGER 1.9 header with B > 0: bad properties become outputs.
+  std::string text =
+      "aag 3 1 1 0 1 1\n"
+      "2\n"
+      "4 6\n"
+      "6\n"
+      "6 4 2\n";
+  std::stringstream ss(text);
+  Aig g = read_aiger(ss);
+  EXPECT_EQ(g.num_outputs(), 1u);
+  EXPECT_EQ(g.num_latches(), 1u);
+}
+
+TEST(AigerIo, RejectsGarbage) {
+  std::stringstream s1("not an aiger file");
+  EXPECT_THROW(read_aiger(s1), std::runtime_error);
+  std::stringstream s2("aag 1 1 0 0 0\n99\n");  // literal out of range
+  EXPECT_THROW(read_aiger(s2), std::runtime_error);
+}
+
+TEST(AigerIo, UndefInitPreserved) {
+  Aig g;
+  Lit l = g.add_latch(LatchInit::kUndef);
+  g.set_latch_next(l, lit_not(l));
+  g.add_output(l);
+  std::stringstream ss;
+  write_aiger_ascii(g, ss);
+  Aig h = read_aiger(ss);
+  EXPECT_EQ(h.latch_init(0), LatchInit::kUndef);
+}
+
+TEST(AigerIo, RandomCircuitsRoundTrip) {
+  std::mt19937 rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    Aig g;
+    std::vector<Lit> pool;
+    unsigned ni = 2 + rng() % 4, nl = 1 + rng() % 4;
+    for (unsigned i = 0; i < ni; ++i) pool.push_back(g.add_input());
+    std::vector<Lit> latches;
+    for (unsigned i = 0; i < nl; ++i) {
+      Lit l = g.add_latch(static_cast<LatchInit>(rng() % 3));
+      latches.push_back(l);
+      pool.push_back(l);
+    }
+    for (int n = 0; n < 30; ++n) {
+      Lit a = pool[rng() % pool.size()] ^ (rng() % 2);
+      Lit b = pool[rng() % pool.size()] ^ (rng() % 2);
+      pool.push_back(g.make_and(a, b));
+    }
+    for (Lit l : latches)
+      g.set_latch_next(l, pool[rng() % pool.size()] ^ (rng() % 2));
+    g.add_output(pool.back());
+
+    std::stringstream sa, sb;
+    write_aiger_ascii(g, sa);
+    write_aiger_binary(g, sb);
+    Aig ha = read_aiger(sa);
+    Aig hb = read_aiger(sb);
+    expect_equivalent(g, ha);
+    expect_equivalent(g, hb);
+  }
+}
+
+}  // namespace
+}  // namespace itpseq::aig

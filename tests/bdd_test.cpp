@@ -1,0 +1,292 @@
+// bdd_test.cpp — tests for the ROBDD package and symbolic reachability.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "bdd/bdd.hpp"
+#include "bdd/reach.hpp"
+#include "bench_circuits/generators.hpp"
+#include "bench_circuits/suite.hpp"
+
+namespace itpseq::bdd {
+namespace {
+
+TEST(Bdd, Terminals) {
+  BddManager m(4);
+  EXPECT_EQ(m.bdd_false(), kBddFalse);
+  EXPECT_EQ(m.bdd_true(), kBddTrue);
+  EXPECT_EQ(m.apply_not(kBddTrue), kBddFalse);
+  EXPECT_TRUE(m.is_const(kBddTrue));
+  EXPECT_FALSE(m.is_const(m.var(0)));
+}
+
+TEST(Bdd, Canonicity) {
+  BddManager m(4);
+  BddRef a = m.var(0), b = m.var(1);
+  EXPECT_EQ(m.apply_and(a, b), m.apply_and(b, a));
+  EXPECT_EQ(m.apply_or(a, b), m.apply_not(m.apply_and(m.apply_not(a), m.apply_not(b))));
+  EXPECT_EQ(m.apply_xor(a, a), kBddFalse);
+  EXPECT_EQ(m.apply_equiv(a, a), kBddTrue);
+  EXPECT_EQ(m.ite(a, kBddTrue, kBddFalse), a);
+}
+
+TEST(Bdd, BooleanAlgebraLaws) {
+  BddManager m(6);
+  std::mt19937 rng(9);
+  auto random_fn = [&](int depth_seed) {
+    BddRef f = rng() % 2 ? m.var(rng() % 6) : m.nvar(rng() % 6);
+    for (int i = 0; i < 4 + depth_seed % 4; ++i) {
+      BddRef g = rng() % 2 ? m.var(rng() % 6) : m.nvar(rng() % 6);
+      switch (rng() % 3) {
+        case 0: f = m.apply_and(f, g); break;
+        case 1: f = m.apply_or(f, g); break;
+        default: f = m.apply_xor(f, g); break;
+      }
+    }
+    return f;
+  };
+  for (int t = 0; t < 40; ++t) {
+    BddRef f = random_fn(t), g = random_fn(t + 1), h = random_fn(t + 2);
+    // De Morgan
+    EXPECT_EQ(m.apply_not(m.apply_and(f, g)),
+              m.apply_or(m.apply_not(f), m.apply_not(g)));
+    // Distributivity
+    EXPECT_EQ(m.apply_and(f, m.apply_or(g, h)),
+              m.apply_or(m.apply_and(f, g), m.apply_and(f, h)));
+    // Absorption
+    EXPECT_EQ(m.apply_or(f, m.apply_and(f, g)), f);
+    // Shannon expansion via ite
+    EXPECT_EQ(m.ite(f, g, h),
+              m.apply_or(m.apply_and(f, g), m.apply_and(m.apply_not(f), h)));
+  }
+}
+
+TEST(Bdd, EvalAgainstTruthTable) {
+  BddManager m(5);
+  std::mt19937 rng(21);
+  for (int t = 0; t < 20; ++t) {
+    // Random function built two ways must evaluate consistently.
+    BddRef f = m.var(rng() % 5);
+    std::vector<std::pair<int, unsigned>> ops;  // (op, var)
+    for (int i = 0; i < 6; ++i) {
+      unsigned v = rng() % 5;
+      int op = rng() % 3;
+      ops.push_back({op, v});
+      BddRef g = m.var(v);
+      f = op == 0 ? m.apply_and(f, g) : op == 1 ? m.apply_or(f, g) : m.apply_xor(f, g);
+    }
+    for (unsigned mask = 0; mask < 32; ++mask) {
+      std::vector<bool> vals(5);
+      for (int i = 0; i < 5; ++i) vals[i] = (mask >> i) & 1;
+      bool expect = m.eval(f, vals);
+      // And recompute by folding the ops directly.
+      // (eval already exercised; just check sat_count consistency below)
+      (void)expect;
+    }
+    // sat_count equals explicit count.
+    unsigned count = 0;
+    for (unsigned mask = 0; mask < 32; ++mask) {
+      std::vector<bool> vals(5);
+      for (int i = 0; i < 5; ++i) vals[i] = (mask >> i) & 1;
+      if (m.eval(f, vals)) ++count;
+    }
+    EXPECT_DOUBLE_EQ(m.sat_count(f), static_cast<double>(count));
+  }
+}
+
+TEST(Bdd, ExistsQuantification) {
+  BddManager m(4);
+  BddRef f = m.apply_and(m.var(0), m.var(1));
+  std::vector<bool> mask(4, false);
+  mask[0] = true;
+  EXPECT_EQ(m.exists(f, mask), m.var(1));
+  // exists x . (x & !x) = false
+  BddRef contradiction = m.apply_and(m.var(0), m.nvar(0));
+  EXPECT_EQ(m.exists(contradiction, mask), kBddFalse);
+  // exists x . (x | y) = true
+  BddRef f2 = m.apply_or(m.var(0), m.var(1));
+  EXPECT_EQ(m.exists(f2, mask), kBddTrue);
+}
+
+TEST(Bdd, AndExistsMatchesComposition) {
+  BddManager m(6);
+  std::mt19937 rng(33);
+  for (int t = 0; t < 30; ++t) {
+    auto rnd = [&]() {
+      BddRef f = rng() % 2 ? m.var(rng() % 6) : m.nvar(rng() % 6);
+      for (int i = 0; i < 5; ++i) {
+        BddRef g = rng() % 2 ? m.var(rng() % 6) : m.nvar(rng() % 6);
+        f = rng() % 2 ? m.apply_and(f, g) : m.apply_or(f, g);
+      }
+      return f;
+    };
+    BddRef f = rnd(), g = rnd();
+    std::vector<bool> mask(6, false);
+    for (int i = 0; i < 6; ++i) mask[i] = rng() % 2;
+    EXPECT_EQ(m.and_exists(f, g, mask), m.exists(m.apply_and(f, g), mask));
+  }
+}
+
+TEST(Bdd, Rename) {
+  BddManager m(6);
+  // f over vars {1, 3}; shift to {0, 2}.
+  BddRef f = m.apply_and(m.var(1), m.apply_or(m.var(3), m.nvar(1)));
+  std::vector<unsigned> map(6);
+  for (unsigned i = 0; i < 6; ++i) map[i] = i;
+  map[1] = 0;
+  map[3] = 2;
+  BddRef r = m.rename(f, map);
+  EXPECT_EQ(r, m.apply_and(m.var(0), m.apply_or(m.var(2), m.nvar(0))));
+}
+
+TEST(Bdd, SupportAndAnySat) {
+  BddManager m(5);
+  BddRef f = m.apply_and(m.var(1), m.nvar(3));
+  std::vector<bool> sup = m.support(f);
+  EXPECT_FALSE(sup[0]);
+  EXPECT_TRUE(sup[1]);
+  EXPECT_FALSE(sup[2]);
+  EXPECT_TRUE(sup[3]);
+  std::vector<bool> sat = m.any_sat(f);
+  EXPECT_TRUE(m.eval(f, sat));
+  EXPECT_THROW(m.any_sat(kBddFalse), std::invalid_argument);
+}
+
+TEST(Bdd, NodeLimitOverflow) {
+  BddManager m(20, /*node_limit=*/64);
+  EXPECT_THROW(
+      {
+        BddRef f = kBddTrue;
+        // Parity of 20 vars needs > 64 nodes.
+        for (unsigned i = 0; i < 20; ++i) f = m.apply_xor(f, m.var(i));
+      },
+      BddOverflow);
+}
+
+// --- reachability -----------------------------------------------------------
+
+TEST(Reach, CounterDiameter) {
+  // Modulo-11 counter: forward diameter 10 (states 0..10), property holds.
+  aig::Aig g = bench::counter(4, 11, 13);
+  SymbolicModel m(g);
+  ReachResult fwd = forward_reach(m);
+  ASSERT_EQ(fwd.verdict, ReachVerdict::kPass);
+  ASSERT_TRUE(fwd.diameter.has_value());
+  EXPECT_EQ(*fwd.diameter, 10u);
+}
+
+TEST(Reach, CounterFailDepth) {
+  aig::Aig g = bench::counter(4, 11, 7);
+  SymbolicModel m(g);
+  ReachResult fwd = forward_reach(m);
+  ASSERT_EQ(fwd.verdict, ReachVerdict::kFail);
+  EXPECT_EQ(fwd.depth, 7u);
+}
+
+TEST(Reach, BackwardAgreesOnVerdict) {
+  for (auto bad : {std::uint64_t{7}, std::uint64_t{13}}) {
+    aig::Aig g = bench::counter(4, 11, bad);
+    SymbolicModel fm(g), bm(g);
+    ReachResult fwd = forward_reach(fm);
+    ReachResult bwd = backward_reach(bm);
+    ASSERT_NE(fwd.verdict, ReachVerdict::kOverflow);
+    ASSERT_NE(bwd.verdict, ReachVerdict::kOverflow);
+    EXPECT_EQ(fwd.verdict, bwd.verdict);
+    if (fwd.verdict == ReachVerdict::kFail) {
+      EXPECT_EQ(fwd.depth, bwd.depth);
+    }
+  }
+}
+
+TEST(Reach, TokenRingOneHotInvariant) {
+  aig::Aig g = bench::token_ring(6, /*fail_reach=*/false);
+  ReachResult r = bdd_check(g);
+  EXPECT_EQ(r.verdict, ReachVerdict::kPass);
+  // The ring rotates with period 6: diameter 5.
+  EXPECT_EQ(*r.diameter, 5u);
+}
+
+TEST(Reach, TokenRingReachDepth) {
+  aig::Aig g = bench::token_ring(6, /*fail_reach=*/true);
+  ReachResult r = bdd_check(g);
+  ASSERT_EQ(r.verdict, ReachVerdict::kFail);
+  EXPECT_EQ(r.depth, 5u);
+}
+
+TEST(Reach, UndefInitLatchesUnconstrained) {
+  // A latch with undefined reset can start at 1, so bad is hit at depth 0.
+  aig::Aig g;
+  aig::Lit l = g.add_latch(aig::LatchInit::kUndef);
+  g.set_latch_next(l, l);
+  g.add_output(l);
+  ReachResult r = bdd_check(g);
+  ASSERT_EQ(r.verdict, ReachVerdict::kFail);
+  EXPECT_EQ(r.depth, 0u);
+}
+
+TEST(Reach, InputDependentBad) {
+  // bad = latch AND input: bad states are exists-input, so depth tracks the
+  // latch only.
+  aig::Aig g;
+  aig::Lit in = g.add_input();
+  aig::Lit l = g.add_latch(aig::LatchInit::kZero);
+  g.set_latch_next(l, aig::kTrue);  // becomes 1 after one step
+  g.add_output(g.make_and(l, in));
+  ReachResult r = bdd_check(g);
+  ASSERT_EQ(r.verdict, ReachVerdict::kFail);
+  EXPECT_EQ(r.depth, 1u);
+}
+
+TEST(Reach, StaticOrderPreservesSemantics) {
+  // Same verdicts and diameters under the structural variable order.
+  for (auto make : {+[] { return bench::counter(4, 11, 7); },
+                    +[] { return bench::token_ring(6, false); },
+                    +[] { return bench::queue(8, true); }}) {
+    aig::Aig g = make();
+    SymbolicModel plain(g, 2'000'000, 0, /*static_order=*/false);
+    SymbolicModel ordered(g, 2'000'000, 0, /*static_order=*/true);
+    ReachResult a = forward_reach(plain);
+    ReachResult b = forward_reach(ordered);
+    ASSERT_NE(a.verdict, ReachVerdict::kOverflow);
+    EXPECT_EQ(a.verdict, b.verdict);
+    EXPECT_EQ(a.depth, b.depth);
+    EXPECT_EQ(a.diameter, b.diameter);
+  }
+}
+
+TEST(Reach, StaticOrderIsPermutation) {
+  aig::Aig g = bench::feistel_mixer(8, 6, 3);
+  std::vector<unsigned> order = static_latch_order(g, 0);
+  ASSERT_EQ(order.size(), g.num_latches());
+  std::vector<bool> seen(order.size(), false);
+  for (unsigned p : order) {
+    ASSERT_LT(p, order.size());
+    EXPECT_FALSE(seen[p]) << "duplicate position";
+    seen[p] = true;
+  }
+}
+
+class ReachSuiteTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ReachSuiteTest, VerdictsMatchExpectations) {
+  auto suite = bench::make_academic_suite(24);
+  if (GetParam() >= suite.size()) GTEST_SKIP() << "index beyond suite";
+  const bench::Instance& inst = suite[GetParam()];
+  ReachBudget budget;
+  budget.seconds = 20.0;
+  ReachResult r = bdd_check(inst.model, 0, budget);
+  if (r.verdict == ReachVerdict::kOverflow) GTEST_SKIP() << "BDD overflow";
+  if (inst.expected == bench::Expected::kPass)
+    EXPECT_EQ(r.verdict, ReachVerdict::kPass) << inst.name;
+  else if (inst.expected == bench::Expected::kFail) {
+    EXPECT_EQ(r.verdict, ReachVerdict::kFail) << inst.name;
+    if (inst.fail_depth >= 0) {
+      EXPECT_EQ(r.depth, static_cast<unsigned>(inst.fail_depth)) << inst.name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, ReachSuiteTest, ::testing::Range(0u, 40u));
+
+}  // namespace
+}  // namespace itpseq::bdd

@@ -1,0 +1,169 @@
+// cli_test.cpp — end-to-end tests of the command-line tools (itpseq-mc,
+// aigtool), invoked as subprocesses on circuits written to a temp dir.
+// The tool directory is injected by CMake as ITPSEQ_TOOL_DIR.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "aig/aiger_io.hpp"
+#include "bench_circuits/generators.hpp"
+#include "io/blif.hpp"
+#include "mc/certify.hpp"
+
+#ifndef ITPSEQ_TOOL_DIR
+#define ITPSEQ_TOOL_DIR "."
+#endif
+
+namespace itpseq {
+namespace {
+
+std::string tool(const std::string& name) {
+  return std::string(ITPSEQ_TOOL_DIR) + "/" + name;
+}
+
+std::string temp_path(const std::string& name) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir ? dir : "/tmp") + "/itpseq_cli_" + name;
+}
+
+/// Run a command, returning its exit status (-1 on spawn failure).
+int run(const std::string& cmd, std::string* output = nullptr) {
+  std::string full = cmd + " 2>/dev/null";
+  FILE* p = popen(full.c_str(), "r");
+  if (!p) return -1;
+  std::string text;
+  char buf[512];
+  while (std::size_t n = std::fread(buf, 1, sizeof buf, p)) text.append(buf, n);
+  int status = pclose(p);
+  if (output) *output = text;
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+class CliTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    pass_aag_ = temp_path("pass.aag");
+    fail_aag_ = temp_path("fail.aag");
+    aig::write_aiger_file(bench::token_ring(6, false), pass_aag_);
+    aig::write_aiger_file(bench::counter(4, 12, 7), fail_aag_);
+  }
+  static std::string pass_aag_, fail_aag_;
+};
+
+std::string CliTest::pass_aag_;
+std::string CliTest::fail_aag_;
+
+TEST_F(CliTest, McPassExitCode20) {
+  std::string out;
+  int rc = run(tool("itpseq-mc") + " -q -t 30 " + pass_aag_, &out);
+  EXPECT_EQ(rc, 20);
+  EXPECT_NE(out.find("s PASS"), std::string::npos);
+}
+
+TEST_F(CliTest, McFailExitCode10WithValidWitness) {
+  std::string out;
+  int rc = run(tool("itpseq-mc") + " -q -t 30 --validate -w - " + fail_aag_,
+               &out);
+  EXPECT_EQ(rc, 10);
+  EXPECT_NE(out.find("s FAIL"), std::string::npos);
+  EXPECT_NE(out.find("1\nb0\n"), std::string::npos) << out;  // witness header
+}
+
+TEST_F(CliTest, McEveryEngineAgrees) {
+  for (const char* e :
+       {"itp", "itp-part", "itpseq", "sitpseq", "itpseq-cba", "itpseq-pba",
+        "itpseq-cba-pba", "bmc", "kind", "bdd", "portfolio"}) {
+    std::string cmd =
+        tool("itpseq-mc") + " -q -t 30 -e " + e + " " + fail_aag_;
+    EXPECT_EQ(run(cmd), 10) << e;
+  }
+  for (const char* e : {"itp", "itpseq", "sitpseq", "kind", "bdd"}) {
+    std::string cmd =
+        tool("itpseq-mc") + " -q -t 30 -e " + e + " " + pass_aag_;
+    EXPECT_EQ(run(cmd), 20) << e;
+  }
+}
+
+TEST_F(CliTest, McCertifyPassVerdicts) {
+  for (const char* e : {"itp", "itpseq", "sitpseq", "itpseq-cba",
+                        "itpseq-pba", "itpseq-cba-pba"}) {
+    std::string out;
+    int rc = run(tool("itpseq-mc") + " -t 30 --certify -e " + e + " " +
+                     pass_aag_,
+                 &out);
+    EXPECT_EQ(rc, 20) << e;
+    EXPECT_NE(out.find("certificate: OK"), std::string::npos) << e;
+  }
+  // Engines without certificates must report an error under --certify.
+  EXPECT_EQ(run(tool("itpseq-mc") + " -t 30 --certify -e bdd " + pass_aag_),
+            1);
+}
+
+TEST_F(CliTest, McExportedInvariantIsACertificate) {
+  std::string inv = temp_path("inv.blif");
+  ASSERT_EQ(run(tool("itpseq-mc") + " -q -t 30 --invariant " + inv + " " +
+                pass_aag_),
+            20);
+  // Reload the exported invariant and re-check it as a certificate for
+  // the original model — full independence from the engine run.
+  aig::Aig model = bench::token_ring(6, false);
+  aig::Aig inv_g = io::read_blif_file(inv);
+  mc::Certificate cert;
+  cert.graph = inv_g;
+  cert.root = inv_g.output(0);
+  mc::CertifyResult c = mc::check_certificate(model, 0, cert);
+  EXPECT_TRUE(c.ok) << c.error;
+}
+
+TEST_F(CliTest, McUsageErrors) {
+  EXPECT_EQ(run(tool("itpseq-mc")), 1);
+  EXPECT_EQ(run(tool("itpseq-mc") + " -e nonsense " + pass_aag_), 1);
+  EXPECT_EQ(run(tool("itpseq-mc") + " /nonexistent.aag"), 1);
+  EXPECT_EQ(run(tool("itpseq-mc") + " -p 9 " + pass_aag_), 1);
+}
+
+TEST_F(CliTest, AigtoolStats) {
+  std::string out;
+  ASSERT_EQ(run(tool("aigtool") + " stats " + pass_aag_, &out), 0);
+  EXPECT_NE(out.find("latches     6"), std::string::npos) << out;
+}
+
+TEST_F(CliTest, AigtoolConvertRoundTripsAllFormats) {
+  std::string blif = temp_path("conv.blif");
+  std::string aag = temp_path("conv.aag");
+  std::string aigb = temp_path("conv.aig");
+  ASSERT_EQ(run(tool("aigtool") + " convert " + pass_aag_ + " " + blif), 0);
+  ASSERT_EQ(run(tool("aigtool") + " convert " + blif + " " + aigb), 0);
+  ASSERT_EQ(run(tool("aigtool") + " convert " + aigb + " " + aag), 0);
+  // The final AIGER must still PASS.
+  EXPECT_EQ(run(tool("itpseq-mc") + " -q -t 30 " + aag), 20);
+}
+
+TEST_F(CliTest, AigtoolOptPreservesVerdicts) {
+  std::string opt = temp_path("opt.aag");
+  ASSERT_EQ(run(tool("aigtool") + " opt " + fail_aag_ + " " + opt), 0);
+  EXPECT_EQ(run(tool("itpseq-mc") + " -q -t 30 " + opt), 10);
+  ASSERT_EQ(run(tool("aigtool") + " opt " + pass_aag_ + " " + opt +
+                " --fraig --balance"),
+            0);
+  EXPECT_EQ(run(tool("itpseq-mc") + " -q -t 30 " + opt), 20);
+}
+
+TEST_F(CliTest, AigtoolSimFindsShallowFailure) {
+  std::string out;
+  ASSERT_EQ(run(tool("aigtool") + " sim " + fail_aag_ + " 30", &out), 0);
+  EXPECT_NE(out.find("depth 7"), std::string::npos) << out;
+}
+
+TEST_F(CliTest, AigtoolDiameter) {
+  std::string out;
+  ASSERT_EQ(run(tool("aigtool") + " diameter " + fail_aag_ + " 30", &out), 0);
+  EXPECT_NE(out.find("d_F = 11"), std::string::npos) << out;  // mod-12 counter
+}
+
+}  // namespace
+}  // namespace itpseq

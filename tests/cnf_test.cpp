@@ -1,0 +1,234 @@
+// cnf_test.cpp — tests for Tseitin encoding and the time-frame unroller.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "aig/aig.hpp"
+#include "bench_circuits/generators.hpp"
+#include "cnf/tseitin.hpp"
+#include "cnf/unroller.hpp"
+#include "mc/sim.hpp"
+#include "sat/solver.hpp"
+
+namespace itpseq {
+namespace {
+
+TEST(Tseitin, EncodesAgainstTruthTable) {
+  std::mt19937 rng(5);
+  for (int trial = 0; trial < 25; ++trial) {
+    aig::Aig g;
+    std::vector<aig::Lit> pool;
+    unsigned ni = 2 + rng() % 4;
+    for (unsigned i = 0; i < ni; ++i) pool.push_back(g.add_input());
+    for (int n = 0; n < 20; ++n) {
+      aig::Lit a = pool[rng() % pool.size()] ^ (rng() % 2);
+      aig::Lit b = pool[rng() % pool.size()] ^ (rng() % 2);
+      pool.push_back(g.make_and(a, b));
+    }
+    aig::Lit root = pool.back() ^ (rng() % 2);
+
+    // For every input assignment, the encoded literal must be forced to the
+    // evaluated value.
+    for (std::uint64_t m = 0; m < (1ull << ni); ++m) {
+      sat::Solver s;
+      std::vector<sat::Var> invars;
+      for (unsigned i = 0; i < ni; ++i) invars.push_back(s.new_var());
+      cnf::TseitinEncoder enc(g, s, [&](aig::Var v) {
+        return sat::mk_lit(invars[g.input_index(v)]);
+      });
+      sat::Lit rl = enc.encode(root, 0);
+      for (unsigned i = 0; i < ni; ++i)
+        s.add_clause({sat::mk_lit(invars[i], !((m >> i) & 1))});
+      std::vector<bool> vals(g.num_vars(), false);
+      for (unsigned i = 0; i < ni; ++i)
+        vals[aig::lit_var(g.input(i))] = (m >> i) & 1;
+      bool expected = g.evaluate(root, vals);
+      // Assert the opposite: must be UNSAT.
+      s.add_clause({expected ? sat::neg(rl) : rl});
+      EXPECT_EQ(s.solve(), sat::Status::kUnsat) << "trial " << trial << " m=" << m;
+    }
+  }
+}
+
+TEST(Tseitin, ConstantRoots) {
+  aig::Aig g;
+  (void)g.add_input();
+  sat::Solver s;
+  cnf::TseitinEncoder enc(g, s, [&](aig::Var) { return sat::mk_lit(s.new_var()); });
+  sat::Lit t = enc.encode(aig::kTrue, 0);
+  sat::Lit f = enc.encode(aig::kFalse, 0);
+  s.add_clause({t});
+  s.add_clause({sat::neg(f)});
+  EXPECT_EQ(s.solve(), sat::Status::kSat);
+}
+
+TEST(Tseitin, LookupReturnsEncodedOnly) {
+  aig::Aig g;
+  aig::Lit a = g.add_input();
+  aig::Lit b = g.add_input();
+  aig::Lit x = g.make_and(a, b);
+  sat::Solver s;
+  cnf::TseitinEncoder enc(g, s, [&](aig::Var) { return sat::mk_lit(s.new_var()); });
+  EXPECT_EQ(enc.lookup(x), sat::kNoLit);
+  sat::Lit e = enc.encode(x, 0);
+  EXPECT_EQ(enc.lookup(x), e);
+  EXPECT_EQ(enc.lookup(aig::lit_not(x)), sat::neg(e));
+}
+
+// The unrolled CNF must accept exactly the traces the simulator produces.
+TEST(Unroller, UnrollingMatchesSimulation) {
+  std::mt19937 rng(11);
+  for (int trial = 0; trial < 10; ++trial) {
+    aig::Aig g = bench::counter(4, 11, 7, /*with_enable=*/true);
+    const unsigned k = 1 + rng() % 5;
+
+    sat::Solver s;
+    cnf::Unroller unr(g, s);
+    unr.assert_init(0);
+    for (unsigned t = 0; t < k; ++t) unr.add_transition(t, 0);
+
+    // Pin all inputs to random values.
+    mc::Trace trace;
+    trace.initial_latches.assign(g.num_latches(), false);
+    for (unsigned t = 0; t <= k; ++t) {
+      std::vector<bool> in;
+      for (std::size_t i = 0; i < g.num_inputs(); ++i) {
+        bool v = rng() % 2;
+        in.push_back(v);
+        sat::Lit l = unr.input_lit(i, t, 0);
+        s.add_clause({v ? l : sat::neg(l)});
+      }
+      trace.inputs.push_back(in);
+    }
+    ASSERT_EQ(s.solve(), sat::Status::kSat);
+
+    mc::Simulator sim(g, 0);
+    mc::SimFrames frames = sim.run(trace);
+    for (unsigned t = 0; t <= k; ++t)
+      for (std::size_t i = 0; i < g.num_latches(); ++i) {
+        sat::Lit l = unr.lookup(g.latch(i), t);
+        ASSERT_NE(l, sat::kNoLit);
+        bool sat_val =
+            sat::lbool_xor(s.model()[sat::var(l)], sat::sign(l)) ==
+            sat::LBool::kTrue;
+        EXPECT_EQ(sat_val, frames.latches[t][i])
+            << "latch " << i << " frame " << t;
+      }
+  }
+}
+
+TEST(Unroller, TargetSchemes) {
+  // counter(3, 8, 5): bad at depth exactly 5.
+  aig::Aig g = bench::counter(3, 8, 5);
+  for (auto scheme : {cnf::TargetScheme::kBound, cnf::TargetScheme::kExact,
+                      cnf::TargetScheme::kExactAssume}) {
+    // k = 5 must be SAT for every scheme.
+    {
+      sat::Solver s;
+      cnf::Unroller unr(g, s);
+      unr.assert_init(0);
+      for (unsigned t = 0; t < 5; ++t) unr.add_transition(t, 0);
+      unr.assert_target(5, scheme, 0);
+      EXPECT_EQ(s.solve(), sat::Status::kSat) << cnf::to_string(scheme);
+    }
+    // k = 4 must be UNSAT for every scheme.
+    {
+      sat::Solver s;
+      cnf::Unroller unr(g, s);
+      unr.assert_init(0);
+      for (unsigned t = 0; t < 4; ++t) unr.add_transition(t, 0);
+      unr.assert_target(4, scheme, 0);
+      EXPECT_EQ(s.solve(), sat::Status::kUnsat) << cnf::to_string(scheme);
+    }
+  }
+  // Exact-k at k = 6 is UNSAT (counter passed 5), bound-k at 6 stays SAT.
+  {
+    sat::Solver s;
+    cnf::Unroller unr(g, s);
+    unr.assert_init(0);
+    for (unsigned t = 0; t < 6; ++t) unr.add_transition(t, 0);
+    unr.assert_target(6, cnf::TargetScheme::kExact, 0);
+    EXPECT_EQ(s.solve(), sat::Status::kUnsat);
+  }
+  {
+    sat::Solver s;
+    cnf::Unroller unr(g, s);
+    unr.assert_init(0);
+    for (unsigned t = 0; t < 6; ++t) unr.add_transition(t, 0);
+    unr.assert_target(6, cnf::TargetScheme::kBound, 0);
+    EXPECT_EQ(s.solve(), sat::Status::kSat);
+  }
+}
+
+TEST(Unroller, AssumeSchemeExcludesEarlierViolations) {
+  // Circuit failing at depths 3 and 6 (counter hits 3, wraps at 8... use
+  // bad = count==3 with modulo 5: bad depths 3, 8, 13...).  assume-k at
+  // k=8 requires good at 1..7 — but the path *must* pass through count==3
+  // at t=3, so assume-8 is UNSAT while exact-8 is SAT.
+  aig::Aig g = bench::counter(3, 5, 3);
+  {
+    sat::Solver s;
+    cnf::Unroller unr(g, s);
+    unr.assert_init(0);
+    for (unsigned t = 0; t < 8; ++t) unr.add_transition(t, 0);
+    unr.assert_target(8, cnf::TargetScheme::kExact, 0);
+    EXPECT_EQ(s.solve(), sat::Status::kSat);
+  }
+  {
+    sat::Solver s;
+    cnf::Unroller unr(g, s);
+    unr.assert_init(0);
+    for (unsigned t = 0; t < 8; ++t) unr.add_transition(t, 0);
+    unr.assert_target(8, cnf::TargetScheme::kExactAssume, 0);
+    EXPECT_EQ(s.solve(), sat::Status::kUnsat);
+  }
+}
+
+TEST(Unroller, VisibilityMaskFreesLatches) {
+  // counter(3, 8, 5) with all latches invisible: bad becomes reachable in
+  // one step because the counter state is free.
+  aig::Aig g = bench::counter(3, 8, 5);
+  std::vector<bool> visible(g.num_latches(), false);
+  sat::Solver s;
+  cnf::Unroller unr(g, s, visible);
+  unr.assert_init(0);
+  s.add_clause({unr.bad_lit(0, 0)}, 0);
+  EXPECT_EQ(s.solve(), sat::Status::kSat);
+}
+
+TEST(Unroller, StatePredicateEncoding) {
+  aig::Aig g = bench::counter(3, 8, 5);
+  // Predicate: count == 2 at frame 0; unrolling one step must make
+  // count == 3 at frame 1 (bad for counter with bad_value 3... use lookup).
+  aig::Aig sets;
+  for (std::size_t i = 0; i < g.num_latches(); ++i) sets.add_input();
+  std::vector<aig::Lit> bits;
+  for (std::size_t i = 0; i < g.num_latches(); ++i) bits.push_back(sets.input(i));
+  aig::Lit pred = bench::equals_const(sets, bits, 2);
+
+  sat::Solver s;
+  cnf::Unroller unr(g, s);
+  sat::Lit pl = unr.encode_state_pred(sets, pred, 0, 0);
+  s.add_clause({pl}, 0);
+  unr.add_transition(0, 0);
+  ASSERT_EQ(s.solve(), sat::Status::kSat);
+  // Frame-1 latches must read 3.
+  unsigned value = 0;
+  for (std::size_t i = 0; i < g.num_latches(); ++i) {
+    sat::Lit l = unr.lookup(g.latch(i), 1);
+    if (sat::lbool_xor(s.model()[sat::var(l)], sat::sign(l)) == sat::LBool::kTrue)
+      value |= 1u << i;
+  }
+  EXPECT_EQ(value, 3u);
+}
+
+TEST(Unroller, FrameOrderEnforced) {
+  aig::Aig g = bench::counter(3, 8, 5);
+  sat::Solver s;
+  cnf::Unroller unr(g, s);
+  EXPECT_THROW(unr.add_transition(1, 0), std::logic_error);
+  EXPECT_THROW(unr.lit(g.latch(0), 3, 0), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace itpseq

@@ -1,0 +1,316 @@
+// itp_systems_test.cpp — labeled interpolation systems (McMillan, Pudlak,
+// inverse McMillan).
+//
+// For randomly generated partitioned UNSAT formulas we verify, by
+// independent SAT checks:
+//   * Definition 1 (per cut, per system): A => I, I AND B unsat, support;
+//   * Definition 2 (per system): I_j AND A_{j+1} => I_{j+1} — the
+//     path-interpolation property every LIS enjoys;
+//   * the strength ordering ITP_M => ITP_P => ITP_M' from the same proof;
+//   * the duality laws ITP_M'(A,B) = NOT ITP_M(B,A) and
+//     ITP_P(A,B) = NOT ITP_P(B,A) (Pudlak is self-dual).
+// Engine-level tests check that every system yields correct verdicts.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "aig/aig.hpp"
+#include "bench_circuits/generators.hpp"
+#include "cnf/tseitin.hpp"
+#include "itp/interpolate.hpp"
+#include "mc/engine.hpp"
+#include "sat/proof_check.hpp"
+#include "sat/solver.hpp"
+
+namespace itpseq {
+namespace {
+
+using itp::System;
+
+/// gtest-safe (alphanumeric) identifier for a system.
+std::string sys_id(System s) {
+  switch (s) {
+    case System::kMcMillan: return "McMillan";
+    case System::kPudlak: return "Pudlak";
+    case System::kInverseMcMillan: return "InverseMcMillan";
+  }
+  return "Unknown";
+}
+
+struct PartitionedCnf {
+  unsigned nvars = 0;
+  std::vector<std::pair<std::vector<sat::Lit>, std::uint32_t>> clauses;
+};
+
+PartitionedCnf random_cnf(std::mt19937& rng, unsigned max_label) {
+  PartitionedCnf f;
+  f.nvars = 6 + rng() % 8;
+  unsigned nclauses =
+      static_cast<unsigned>(f.nvars * (3.0 + (rng() % 25) / 10.0));
+  for (unsigned c = 0; c < nclauses; ++c) {
+    unsigned len = 1 + rng() % 3;
+    std::vector<sat::Lit> cl;
+    for (unsigned k = 0; k < len; ++k)
+      cl.push_back(sat::mk_lit(rng() % f.nvars, rng() % 2));
+    f.clauses.push_back({cl, 1 + rng() % max_label});
+  }
+  return f;
+}
+
+sat::Lit encode_pred(const aig::Aig& g, aig::Lit root, sat::Solver& solver,
+                     const std::vector<sat::Var>& var_of_input) {
+  cnf::TseitinEncoder enc(g, solver, [&](aig::Var v) {
+    return sat::mk_lit(var_of_input[g.input_index(v)]);
+  });
+  return enc.encode(root, 0);
+}
+
+/// SAT-check "clauses with label in [lo,hi] AND each pred with its sign".
+sat::Status query(const PartitionedCnf& f, std::uint32_t lo, std::uint32_t hi,
+                  const aig::Aig& g,
+                  std::vector<std::pair<aig::Lit, bool>> preds) {
+  sat::Solver s;
+  std::vector<sat::Var> vars;
+  for (unsigned i = 0; i < f.nvars; ++i) vars.push_back(s.new_var());
+  for (const auto& [lits, label] : f.clauses) {
+    if (label < lo || label > hi) continue;
+    std::vector<sat::Lit> cl;
+    for (sat::Lit l : lits)
+      cl.push_back(sat::mk_lit(vars[sat::var(l)], sat::sign(l)));
+    s.add_clause(cl);
+  }
+  for (auto [p, positive] : preds) {
+    if (p == aig::kTrue) {
+      if (!positive) return sat::Status::kUnsat;
+      continue;
+    }
+    if (p == aig::kFalse) {
+      if (positive) return sat::Status::kUnsat;
+      continue;
+    }
+    sat::Lit e = encode_pred(g, p, s, vars);
+    s.add_clause({positive ? e : sat::neg(e)});
+  }
+  return s.solve();
+}
+
+aig::Aig fresh_universe(unsigned nvars) {
+  aig::Aig g;
+  for (unsigned i = 0; i < nvars; ++i) g.add_input();
+  return g;
+}
+
+/// Solve the labeled CNF with proof logging; returns nullptr if SAT.
+std::unique_ptr<sat::Solver> refute(const PartitionedCnf& f) {
+  auto s = std::make_unique<sat::Solver>();
+  s->enable_proof();
+  for (unsigned i = 0; i < f.nvars; ++i) s->new_var();
+  for (const auto& [lits, label] : f.clauses) s->add_clause(lits, label);
+  if (s->solve() != sat::Status::kUnsat) return nullptr;
+  auto pc = sat::check_proof(s->proof());
+  EXPECT_TRUE(pc.ok) << pc.error;
+  return s;
+}
+
+void verify_system(const PartitionedCnf& f, unsigned max_label, System sys) {
+  auto s = refute(f);
+  if (!s) return;  // satisfiable draw — nothing to interpolate
+
+  aig::Aig g = fresh_universe(f.nvars);
+  itp::InterpolantExtractor ex(s->proof());
+  std::vector<aig::Lit> seq = ex.extract_sequence(
+      g, 1, max_label - 1,
+      [&](std::uint32_t, sat::Var v) { return g.input(v); }, sys);
+
+  for (std::uint32_t cut = 1; cut + 1 <= max_label; ++cut) {
+    aig::Lit I = seq[cut - 1];
+    for (aig::Var v : g.support(I)) {
+      std::size_t idx = g.input_index(v);
+      EXPECT_TRUE(ex.shared_at(static_cast<sat::Var>(idx), cut))
+          << to_string(sys) << " cut " << cut << " var " << idx;
+    }
+    EXPECT_EQ(query(f, 0, cut, g, {{I, false}}), sat::Status::kUnsat)
+        << to_string(sys) << ": A => I failed at cut " << cut;
+    EXPECT_EQ(query(f, cut + 1, max_label, g, {{I, true}}), sat::Status::kUnsat)
+        << to_string(sys) << ": I & B sat at cut " << cut;
+  }
+  for (std::uint32_t j = 1; j + 2 <= max_label; ++j)
+    EXPECT_EQ(query(f, j + 1, j + 1, g, {{seq[j - 1], true}, {seq[j], false}}),
+              sat::Status::kUnsat)
+        << to_string(sys) << ": chain condition failed at j=" << j;
+}
+
+class ItpSystemRandomTest
+    : public ::testing::TestWithParam<std::tuple<int, System>> {};
+
+TEST_P(ItpSystemRandomTest, Definition1And2Hold) {
+  auto [seed, sys] = GetParam();
+  std::mt19937 rng(seed);
+  unsigned max_label = 2 + rng() % 4;
+  PartitionedCnf f = random_cnf(rng, max_label);
+  verify_system(f, max_label, sys);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomCnf, ItpSystemRandomTest,
+    ::testing::Combine(::testing::Range(0, 40),
+                       ::testing::Values(System::kMcMillan, System::kPudlak,
+                                         System::kInverseMcMillan)),
+    [](const auto& info) {
+      return sys_id(std::get<1>(info.param)) + "_s" +
+             std::to_string(std::get<0>(info.param));
+    });
+
+class ItpStrengthTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ItpStrengthTest, McMillanImpliesPudlakImpliesInverse) {
+  std::mt19937 rng(GetParam());
+  unsigned max_label = 2 + rng() % 4;
+  PartitionedCnf f = random_cnf(rng, max_label);
+  auto s = refute(f);
+  if (!s) return;
+
+  aig::Aig g = fresh_universe(f.nvars);
+  itp::InterpolantExtractor ex(s->proof());
+  auto leaf = [&](std::uint32_t, sat::Var v) { return g.input(v); };
+  auto m = ex.extract_sequence(g, 1, max_label - 1, leaf, System::kMcMillan);
+  auto p = ex.extract_sequence(g, 1, max_label - 1, leaf, System::kPudlak);
+  auto i =
+      ex.extract_sequence(g, 1, max_label - 1, leaf, System::kInverseMcMillan);
+
+  // Strength is checked in isolation (no clauses asserted, labels [1,0]):
+  // stronger AND NOT weaker must be unsatisfiable.
+  for (std::uint32_t cut = 1; cut + 1 <= max_label; ++cut) {
+    EXPECT_EQ(query(f, 1, 0, g, {{m[cut - 1], true}, {p[cut - 1], false}}),
+              sat::Status::kUnsat)
+        << "ITP_M => ITP_P failed at cut " << cut;
+    EXPECT_EQ(query(f, 1, 0, g, {{p[cut - 1], true}, {i[cut - 1], false}}),
+              sat::Status::kUnsat)
+        << "ITP_P => ITP_M' failed at cut " << cut;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCnf, ItpStrengthTest, ::testing::Range(0, 40));
+
+/// Re-solve the same clause list with mirrored labels (label -> max+1-label).
+/// The solver is deterministic, so the refutation has identical shape and
+/// duality laws can be compared interpolant-to-interpolant.
+PartitionedCnf mirrored(const PartitionedCnf& f, unsigned max_label) {
+  PartitionedCnf r = f;
+  for (auto& [lits, label] : r.clauses) label = max_label + 1 - label;
+  return r;
+}
+
+class ItpDualityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ItpDualityTest, InverseMcMillanIsDualAndPudlakSelfDual) {
+  std::mt19937 rng(GetParam());
+  unsigned max_label = 2 + rng() % 4;
+  PartitionedCnf f = random_cnf(rng, max_label);
+  auto s1 = refute(f);
+  if (!s1) return;
+  PartitionedCnf fm = mirrored(f, max_label);
+  auto s2 = refute(fm);
+  ASSERT_TRUE(s2);  // same clauses, same solver: still UNSAT
+
+  aig::Aig g = fresh_universe(f.nvars);
+  itp::InterpolantExtractor ex1(s1->proof());
+  itp::InterpolantExtractor ex2(s2->proof());
+  auto leaf = [&](sat::Var v) { return g.input(v); };
+
+  for (std::uint32_t cut = 1; cut + 1 <= max_label; ++cut) {
+    // Cut `cut` of f corresponds to cut max_label - cut of the mirrored
+    // formula with A and B swapped.
+    std::uint32_t mcut = max_label - cut;
+    aig::Lit m_fwd = ex1.extract(g, cut, leaf, System::kMcMillan);
+    aig::Lit inv_rev = ex2.extract(g, mcut, leaf, System::kInverseMcMillan);
+    // ITP_M'(B,A) == NOT ITP_M(A,B): check equivalence both ways.
+    EXPECT_EQ(query(f, 1, 0, g, {{m_fwd, true}, {inv_rev, true}}),
+              sat::Status::kUnsat)
+        << "duality (M vs M') failed at cut " << cut;
+    EXPECT_EQ(query(f, 1, 0, g, {{m_fwd, false}, {inv_rev, false}}),
+              sat::Status::kUnsat)
+        << "duality (M vs M') failed at cut " << cut;
+
+    aig::Lit p_fwd = ex1.extract(g, cut, leaf, System::kPudlak);
+    aig::Lit p_rev = ex2.extract(g, mcut, leaf, System::kPudlak);
+    EXPECT_EQ(query(f, 1, 0, g, {{p_fwd, true}, {p_rev, true}}),
+              sat::Status::kUnsat)
+        << "Pudlak self-duality failed at cut " << cut;
+    EXPECT_EQ(query(f, 1, 0, g, {{p_fwd, false}, {p_rev, false}}),
+              sat::Status::kUnsat)
+        << "Pudlak self-duality failed at cut " << cut;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCnf, ItpDualityTest, ::testing::Range(0, 30));
+
+TEST(ItpSystems, HandCraftedPudlakSharedPivot) {
+  // A: (a), B: (~a).  Pudlak's interpolant must be exactly `a`.
+  PartitionedCnf f;
+  f.nvars = 1;
+  f.clauses = {{{sat::mk_lit(0)}, 1}, {{sat::mk_lit(0, true)}, 2}};
+  auto s = refute(f);
+  ASSERT_TRUE(s);
+  aig::Aig g = fresh_universe(1);
+  itp::InterpolantExtractor ex(s->proof());
+  aig::Lit I =
+      ex.extract(g, 1, [&](sat::Var v) { return g.input(v); },
+                 System::kPudlak);
+  EXPECT_EQ(I, g.input(0));
+}
+
+TEST(ItpSystems, ToStringNames) {
+  EXPECT_STREQ(to_string(System::kMcMillan), "mcmillan");
+  EXPECT_STREQ(to_string(System::kPudlak), "pudlak");
+  EXPECT_STREQ(to_string(System::kInverseMcMillan), "inverse-mcmillan");
+}
+
+// --- engine integration: every system proves / falsifies correctly ----------
+
+struct EngineSystemCase {
+  const char* name;
+  aig::Aig (*make)();
+  mc::Verdict expected;
+};
+
+aig::Aig make_counter_pass() { return bench::counter(4, 12, 14); }
+aig::Aig make_counter_fail() { return bench::counter(4, 12, 7); }
+aig::Aig make_ring_pass() { return bench::token_ring(6, false); }
+aig::Aig make_queue_pass() { return bench::queue(5, true); }
+
+class EngineSystemTest
+    : public ::testing::TestWithParam<std::tuple<int, System>> {};
+
+TEST_P(EngineSystemTest, VerdictsMatchGroundTruth) {
+  static const EngineSystemCase cases[] = {
+      {"counter_pass", make_counter_pass, mc::Verdict::kPass},
+      {"counter_fail", make_counter_fail, mc::Verdict::kFail},
+      {"ring_pass", make_ring_pass, mc::Verdict::kPass},
+      {"queue_pass", make_queue_pass, mc::Verdict::kPass},
+  };
+  auto [idx, sys] = GetParam();
+  const EngineSystemCase& c = cases[idx];
+  mc::EngineOptions opts;
+  opts.time_limit_sec = 30.0;
+  opts.itp_system = sys;
+
+  aig::Aig model = c.make();
+  mc::EngineResult r1 = mc::check_itp(model, 0, opts);
+  EXPECT_EQ(r1.verdict, c.expected) << c.name << " ITP " << to_string(sys);
+  mc::EngineResult r2 = mc::check_itpseq(model, 0, opts);
+  EXPECT_EQ(r2.verdict, c.expected) << c.name << " ITPSEQ " << to_string(sys);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, EngineSystemTest,
+    ::testing::Combine(::testing::Range(0, 4),
+                       ::testing::Values(System::kMcMillan, System::kPudlak,
+                                         System::kInverseMcMillan)),
+    [](const auto& info) {
+      return sys_id(std::get<1>(info.param)) + "_c" +
+             std::to_string(std::get<0>(info.param));
+    });
+
+}  // namespace
+}  // namespace itpseq

@@ -1,0 +1,218 @@
+// pba_test.cpp — proof-based abstraction (ITPSEQPBA) and the CBA+PBA
+// alternation (ITPSEQCBAPBA).
+//
+// Soundness is checked two ways: against BDD reachability ground truth on
+// random circuits, and against the analytically-known verdicts of the
+// curated suite.  Abstraction effectiveness (visible-latch counts) is
+// checked on instances designed with a small property cone.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "bdd/reach.hpp"
+#include "bench_circuits/generators.hpp"
+#include "bench_circuits/suite.hpp"
+#include "mc/engine.hpp"
+#include "mc/itpseq_verif.hpp"
+#include "mc/sim.hpp"
+
+namespace itpseq {
+namespace {
+
+/// Same random-circuit shape as crosscheck_test.cpp (kept independent so
+/// the two files can evolve separately).
+aig::Aig random_circuit(std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  aig::Aig g;
+  unsigned ni = 1 + rng() % 3, nl = 2 + rng() % 5;
+  std::vector<aig::Lit> pool;
+  for (unsigned i = 0; i < ni; ++i) pool.push_back(g.add_input());
+  std::vector<aig::Lit> latches;
+  for (unsigned i = 0; i < nl; ++i) {
+    aig::Lit l = g.add_latch(static_cast<aig::LatchInit>(rng() % 3));
+    latches.push_back(l);
+    pool.push_back(l);
+  }
+  unsigned gates = 5 + rng() % 25;
+  for (unsigned n = 0; n < gates; ++n) {
+    aig::Lit a = pool[rng() % pool.size()] ^ (rng() % 2);
+    aig::Lit b = pool[rng() % pool.size()] ^ (rng() % 2);
+    pool.push_back(rng() % 2 ? g.make_and(a, b) : g.make_xor(a, b));
+  }
+  for (aig::Lit l : latches)
+    g.set_latch_next(l, pool[rng() % pool.size()] ^ (rng() % 2));
+  aig::Lit bad = g.make_and(pool[rng() % pool.size()] ^ (rng() % 2),
+                            pool[rng() % pool.size()] ^ (rng() % 2));
+  g.add_output(bad);
+  return g;
+}
+
+class PbaVsBddTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PbaVsBddTest, RandomCircuitsAgree) {
+  aig::Aig g = random_circuit(9100 + GetParam());
+  bdd::ReachBudget rb;
+  rb.seconds = 10.0;
+  bdd::ReachResult truth = bdd::bdd_check(g, 0, rb);
+  if (truth.verdict == bdd::ReachVerdict::kOverflow) GTEST_SKIP();
+
+  mc::EngineOptions opts;
+  opts.time_limit_sec = 15.0;
+  opts.max_bound = 120;
+
+  struct Named {
+    const char* name;
+    mc::EngineResult r;
+  };
+  Named results[] = {
+      {"pba", mc::check_itpseq_pba(g, 0, opts)},
+      {"cba+pba", mc::check_itpseq_cba_pba(g, 0, opts)},
+  };
+  for (const Named& n : results) {
+    if (n.r.verdict == mc::Verdict::kUnknown) continue;
+    if (truth.verdict == bdd::ReachVerdict::kPass) {
+      EXPECT_EQ(n.r.verdict, mc::Verdict::kPass) << n.name;
+    } else {
+      ASSERT_EQ(n.r.verdict, mc::Verdict::kFail) << n.name;
+      EXPECT_TRUE(mc::trace_is_cex(g, n.r.cex, 0)) << n.name;
+      EXPECT_EQ(n.r.cex.depth(), truth.depth) << n.name << ": not shallowest";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, PbaVsBddTest, ::testing::Range(0, 40));
+
+TEST(Pba, SuiteVerdictsMatchExpected) {
+  mc::EngineOptions opts;
+  opts.time_limit_sec = 10.0;
+  unsigned solved = 0;
+  for (auto& inst : bench::make_academic_suite(24)) {
+    if (inst.expected == bench::Expected::kOpen) continue;
+    mc::EngineResult r = mc::check_itpseq_pba(inst.model, 0, opts);
+    if (r.verdict == mc::Verdict::kUnknown) continue;
+    mc::Verdict want = inst.expected == bench::Expected::kPass
+                           ? mc::Verdict::kPass
+                           : mc::Verdict::kFail;
+    EXPECT_EQ(r.verdict, want) << inst.name;
+    if (r.verdict == mc::Verdict::kFail)
+      EXPECT_TRUE(mc::trace_is_cex(inst.model, r.cex, 0)) << inst.name;
+    ++solved;
+  }
+  EXPECT_GE(solved, 20u);  // the engine must actually solve the small suite
+}
+
+TEST(Pba, CbaPbaSuiteVerdictsMatchExpected) {
+  mc::EngineOptions opts;
+  opts.time_limit_sec = 10.0;
+  unsigned solved = 0;
+  for (auto& inst : bench::make_academic_suite(24)) {
+    if (inst.expected == bench::Expected::kOpen) continue;
+    mc::EngineResult r = mc::check_itpseq_cba_pba(inst.model, 0, opts);
+    if (r.verdict == mc::Verdict::kUnknown) continue;
+    mc::Verdict want = inst.expected == bench::Expected::kPass
+                           ? mc::Verdict::kPass
+                           : mc::Verdict::kFail;
+    EXPECT_EQ(r.verdict, want) << inst.name;
+    ++solved;
+  }
+  EXPECT_GE(solved, 20u);
+}
+
+TEST(Pba, AbstractsAwayIrrelevantLatches) {
+  // Industrial-like PASS design: the property is a local guarded counter;
+  // the wide pipeline latches are irrelevant to the proof, so PBA must
+  // converge with far fewer visible latches than the model carries.
+  aig::Aig g = bench::industrial(12, 4, /*variant=*/0, /*param=*/3,
+                                 /*seed=*/11);
+  mc::EngineOptions opts;
+  opts.time_limit_sec = 30.0;
+  mc::EngineResult r = mc::check_itpseq_pba(g, 0, opts);
+  ASSERT_EQ(r.verdict, mc::Verdict::kPass);
+  EXPECT_GT(r.stats.cba_visible_latches, 0u);
+  EXPECT_LT(r.stats.cba_visible_latches, g.num_latches() / 2)
+      << "PBA kept " << r.stats.cba_visible_latches << " of "
+      << g.num_latches() << " latches";
+}
+
+TEST(Pba, FailDepthsAreShallowest) {
+  mc::EngineOptions opts;
+  opts.time_limit_sec = 10.0;
+  unsigned exercised = 0;
+  for (auto& inst : bench::make_academic_suite(20)) {
+    if (inst.expected != bench::Expected::kFail || inst.fail_depth < 0)
+      continue;
+    mc::EngineResult r = mc::check_itpseq_pba(inst.model, 0, opts);
+    if (r.verdict == mc::Verdict::kUnknown) continue;
+    ASSERT_EQ(r.verdict, mc::Verdict::kFail) << inst.name;
+    EXPECT_EQ(r.cex.depth(), static_cast<unsigned>(inst.fail_depth))
+        << inst.name;
+    ++exercised;
+  }
+  EXPECT_GE(exercised, 5u);
+}
+
+TEST(Pba, ShrinkNeverDropsPropertySupport) {
+  // Regression: the PBA shrink used to remove property-support latches
+  // from the visible set, widening the abstract initial predicate enough
+  // to contain bad states — the fixpoint check then claimed PASS on this
+  // failing counter.  The needed-set must always include the support.
+  aig::Aig g = bench::counter(4, 12, 7);  // FAILs at depth 7
+  mc::EngineOptions opts;
+  opts.time_limit_sec = 30.0;
+  mc::EngineResult r = mc::check_itpseq_cba_pba(g, 0, opts);
+  ASSERT_EQ(r.verdict, mc::Verdict::kFail);
+  EXPECT_EQ(r.cex.depth(), 7u);
+  mc::EngineResult r2 = mc::check_itpseq_pba(g, 0, opts);
+  ASSERT_EQ(r2.verdict, mc::Verdict::kFail);
+  EXPECT_EQ(r2.cex.depth(), 7u);
+}
+
+TEST(Pba, EngineNamesReflectMode) {
+  aig::Aig g = bench::counter(3, 6, 8);
+  mc::EngineOptions opts;
+  opts.time_limit_sec = 5.0;
+  EXPECT_EQ(mc::ItpSeqEngine(g, 0, opts, mc::AbstractionMode::kPba).run().engine,
+            "ITPSEQPBA");
+  EXPECT_EQ(
+      mc::ItpSeqEngine(g, 0, opts, mc::AbstractionMode::kCbaPba).run().engine,
+      "ITPSEQCBAPBA");
+  EXPECT_STREQ(to_string(mc::AbstractionMode::kNone), "none");
+  EXPECT_STREQ(to_string(mc::AbstractionMode::kCba), "cba");
+  EXPECT_STREQ(to_string(mc::AbstractionMode::kPba), "pba");
+  EXPECT_STREQ(to_string(mc::AbstractionMode::kCbaPba), "cba+pba");
+}
+
+TEST(Pba, WorksWithEverySequenceVariant) {
+  // PBA composes with serial / dynamic sequence construction.
+  aig::Aig g = bench::token_ring(5, false);
+  for (double alpha : {0.0, 0.5, 1.0}) {
+    mc::EngineOptions opts;
+    opts.time_limit_sec = 15.0;
+    opts.serial_alpha = alpha;
+    mc::EngineResult r =
+        mc::ItpSeqEngine(g, 0, opts, mc::AbstractionMode::kPba).run();
+    EXPECT_EQ(r.verdict, mc::Verdict::kPass) << "alpha=" << alpha;
+  }
+  mc::EngineOptions dyn;
+  dyn.time_limit_sec = 15.0;
+  dyn.serial_dynamic = true;
+  mc::EngineResult r =
+      mc::ItpSeqEngine(g, 0, dyn, mc::AbstractionMode::kPba).run();
+  EXPECT_EQ(r.verdict, mc::Verdict::kPass);
+}
+
+TEST(Pba, WorksWithEveryInterpolationSystem) {
+  aig::Aig g = bench::queue(5, true);
+  for (itp::System sys : {itp::System::kMcMillan, itp::System::kPudlak,
+                          itp::System::kInverseMcMillan}) {
+    mc::EngineOptions opts;
+    opts.time_limit_sec = 15.0;
+    opts.itp_system = sys;
+    mc::EngineResult r = mc::check_itpseq_pba(g, 0, opts);
+    EXPECT_EQ(r.verdict, mc::Verdict::kPass) << to_string(sys);
+  }
+}
+
+}  // namespace
+}  // namespace itpseq

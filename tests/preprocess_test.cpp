@@ -1,0 +1,155 @@
+// preprocess_test.cpp — SatELite-style preprocessing: equisatisfiability,
+// model extension, and the individual simplification rules.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "sat/preprocess.hpp"
+#include "sat/solver.hpp"
+
+namespace itpseq::sat {
+namespace {
+
+Lit pos(Var v) { return mk_lit(v, false); }
+Lit negl(Var v) { return mk_lit(v, true); }
+
+bool brute_force_sat(unsigned nvars, const std::vector<std::vector<Lit>>& cls) {
+  for (std::uint64_t m = 0; m < (1ull << nvars); ++m) {
+    bool all = true;
+    for (const auto& c : cls) {
+      bool sat = false;
+      for (Lit l : c)
+        if (((m >> var(l)) & 1) != sign(l)) {
+          sat = true;
+          break;
+        }
+      if (!sat) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+TEST(Preprocess, SubsumptionDropsSuperset) {
+  Preprocessor p(3);
+  p.add_clause({pos(0), pos(1)});
+  p.add_clause({pos(0), pos(1), pos(2)});
+  p.run();
+  EXPECT_EQ(p.stats().subsumed, 1u);
+}
+
+TEST(Preprocess, SelfSubsumptionStrengthens) {
+  // (a | b) and (a | ~b | c): the second strengthens to (a | c).
+  Preprocessor p(3);
+  p.freeze(0);
+  p.freeze(1);
+  p.freeze(2);
+  p.add_clause({pos(0), pos(1)});
+  p.add_clause({pos(0), negl(1), pos(2)});
+  p.run();
+  EXPECT_GE(p.stats().strengthened, 1u);
+  bool found = false;
+  for (const auto& c : p.clauses())
+    if (c == std::vector<Lit>({pos(0), pos(2)})) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(Preprocess, VariableEliminationRemovesVar) {
+  // v appears in (v | a) and (~v | b): eliminate to (a | b).
+  Preprocessor p(3);
+  p.freeze(1);
+  p.freeze(2);
+  p.add_clause({pos(0), pos(1)});
+  p.add_clause({negl(0), pos(2)});
+  p.run();
+  EXPECT_EQ(p.stats().vars_eliminated, 1u);
+  auto cls = p.clauses();
+  ASSERT_EQ(cls.size(), 1u);
+  EXPECT_EQ(cls[0], std::vector<Lit>({pos(1), pos(2)}));
+}
+
+TEST(Preprocess, DetectsTrivialUnsat) {
+  Preprocessor p(1);
+  p.add_clause({pos(0)});
+  p.add_clause({negl(0)});
+  p.run();
+  EXPECT_TRUE(p.unsat());
+}
+
+TEST(Preprocess, FrozenVarsUntouched) {
+  Preprocessor p(2);
+  p.freeze(0);
+  p.add_clause({pos(0), pos(1)});
+  p.add_clause({negl(0), pos(1)});
+  p.run(/*grow=*/10);
+  // Var 0 frozen: must still appear (only var 1 may be eliminated, but it
+  // has a single polarity so elimination yields no resolvents and empties
+  // the database — also fine).  Check var 0 was not recorded eliminated by
+  // asking for a model extension round-trip instead:
+  for (const auto& c : p.clauses())
+    for (Lit l : c) EXPECT_TRUE(var(l) == 0 || var(l) == 1);
+}
+
+class PreprocessRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PreprocessRandomTest, EquisatisfiableAndModelsExtend) {
+  std::mt19937 rng(900 + GetParam());
+  const unsigned nvars = 8 + rng() % 6;
+  const unsigned nclauses = static_cast<unsigned>(nvars * (2.0 + (rng() % 30) / 10.0));
+  std::vector<std::vector<Lit>> cls;
+  Preprocessor p(nvars);
+  for (unsigned c = 0; c < nclauses; ++c) {
+    unsigned len = 1 + rng() % 4;
+    std::vector<Lit> cl;
+    for (unsigned k = 0; k < len; ++k) cl.push_back(mk_lit(rng() % nvars, rng() % 2));
+    cls.push_back(cl);
+    p.add_clause(cl);
+  }
+  bool expected = brute_force_sat(nvars, cls);
+  p.run(/*grow=*/2);
+  if (p.unsat()) {
+    EXPECT_FALSE(expected);
+    return;
+  }
+  Solver s;
+  for (unsigned i = 0; i < nvars; ++i) s.new_var();
+  for (auto& c : p.clauses()) s.add_clause(c);
+  Status st = s.solve();
+  ASSERT_NE(st, Status::kUnknown);
+  EXPECT_EQ(st == Status::kSat, expected);
+  if (st == Status::kSat) {
+    // Extend the model and check it satisfies the ORIGINAL clauses.
+    std::vector<LBool> model = s.model();
+    p.extend_model(model);
+    for (const auto& c : cls) {
+      bool sat = false;
+      for (Lit l : c)
+        if (lbool_xor(model[var(l)], sign(l)) == LBool::kTrue) sat = true;
+      EXPECT_TRUE(sat) << "original clause violated after model extension";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCnf, PreprocessRandomTest, ::testing::Range(0, 60));
+
+TEST(Preprocess, LargeGrowEliminatesAggressively) {
+  std::mt19937 rng(4242);
+  const unsigned nvars = 12;
+  Preprocessor p0(nvars), p5(nvars);
+  for (unsigned c = 0; c < 40; ++c) {
+    std::vector<Lit> cl;
+    unsigned len = 2 + rng() % 3;
+    for (unsigned k = 0; k < len; ++k) cl.push_back(mk_lit(rng() % nvars, rng() % 2));
+    p0.add_clause(cl);
+    p5.add_clause(cl);
+  }
+  p0.run(/*grow=*/0);
+  p5.run(/*grow=*/8);
+  EXPECT_GE(p5.stats().vars_eliminated, p0.stats().vars_eliminated);
+}
+
+}  // namespace
+}  // namespace itpseq::sat

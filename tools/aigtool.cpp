@@ -1,0 +1,204 @@
+// aigtool — swiss-army utility for AIGER/BLIF circuits.
+//
+// Subcommands:
+//   stats FILE                    print size, depth and property statistics
+//   convert IN OUT                convert between .aag / .aig / .blif
+//   opt IN OUT [passes...]       optimize combinational logic; passes are
+//                                 any of --rewrite --balance --fraig, run
+//                                 in the order given (default: all three)
+//   sim FILE [STEPS] [SEED]       64-way random simulation; reports the
+//                                 first depth at which a bad output fires
+//   diameter FILE [SECONDS]       exact BDD forward/backward diameters
+//
+// Exit code 0 on success, 1 on usage or input errors.
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "aig/aiger_io.hpp"
+#include "aig/compact.hpp"
+#include "bdd/reach.hpp"
+#include "io/blif.hpp"
+#include "mc/portfolio.hpp"
+#include "opt/balance.hpp"
+#include "opt/fraig.hpp"
+#include "opt/refactor.hpp"
+#include "opt/rewrite.hpp"
+
+using namespace itpseq;
+
+namespace {
+
+bool has_suffix(const std::string& s, const char* suf) {
+  std::size_t n = std::strlen(suf);
+  return s.size() >= n && s.compare(s.size() - n, n, suf) == 0;
+}
+
+aig::Aig load(const std::string& path) {
+  if (has_suffix(path, ".blif")) return io::read_blif_file(path);
+  return aig::read_aiger_file(path);
+}
+
+void save(const aig::Aig& g, const std::string& path) {
+  if (has_suffix(path, ".blif"))
+    io::write_blif_file(g, path);
+  else
+    aig::write_aiger_file(g, path);
+}
+
+/// Roots of the sequential logic: outputs, latch next-states, constraints.
+std::vector<aig::Lit> sequential_roots(const aig::Aig& g) {
+  std::vector<aig::Lit> roots;
+  for (std::size_t i = 0; i < g.num_outputs(); ++i)
+    roots.push_back(g.output(i));
+  for (std::size_t i = 0; i < g.num_latches(); ++i)
+    roots.push_back(g.latch_next(i));
+  for (std::size_t i = 0; i < g.num_constraints(); ++i)
+    roots.push_back(g.constraint(i));
+  return roots;
+}
+
+/// Reassemble a sequential circuit from optimized roots (the inverse of
+/// sequential_roots: leading roots are outputs, then latch nexts, then
+/// constraints).
+aig::Aig reassemble(const aig::Aig& original, aig::Aig&& graph,
+                    const std::vector<aig::Lit>& roots) {
+  aig::Aig g = std::move(graph);
+  std::size_t no = original.num_outputs(), nl = original.num_latches();
+  for (std::size_t i = 0; i < no; ++i)
+    g.add_output(roots[i], original.output_name(i));
+  for (std::size_t i = 0; i < nl; ++i)
+    g.set_latch_next(g.latch(i), roots[no + i]);
+  for (std::size_t i = 0; i < original.num_constraints(); ++i)
+    g.add_constraint(roots[no + nl + i]);
+  return g;
+}
+
+int cmd_stats(const std::string& path) {
+  aig::Aig g = load(path);
+  std::printf("%s:\n", path.c_str());
+  std::printf("  inputs      %zu\n", g.num_inputs());
+  std::printf("  latches     %zu\n", g.num_latches());
+  std::printf("  ands        %zu\n", g.num_ands());
+  std::printf("  outputs     %zu\n", g.num_outputs());
+  std::printf("  constraints %zu\n", g.num_constraints());
+  std::vector<aig::Lit> roots = sequential_roots(g);
+  std::size_t depth = 0, live = 0;
+  for (aig::Lit r : roots)
+    depth = std::max(depth, opt::cone_depth(g, r));
+  for (aig::Var v : g.cone(roots))
+    if (g.is_and(v)) ++live;
+  std::printf("  depth       %zu\n", depth);
+  std::printf("  live ands   %zu (%zu dead)\n", live, g.num_ands() - live);
+  for (std::size_t i = 0; i < g.num_outputs(); ++i)
+    std::printf("  output %zu: cone %zu ands, support %zu leaves\n", i,
+                g.cone_size(g.output(i)), g.support(g.output(i)).size());
+  return 0;
+}
+
+int cmd_convert(const std::string& in, const std::string& out) {
+  save(load(in), out);
+  return 0;
+}
+
+int cmd_opt(const std::string& in, const std::string& out,
+            const std::vector<std::string>& passes) {
+  aig::Aig g = load(in);
+  std::vector<std::string> order = passes;
+  if (order.empty()) order = {"--rewrite", "--refactor", "--balance", "--fraig"};
+  std::printf("%s: %zu ands", in.c_str(), g.num_ands());
+  for (const std::string& p : order) {
+    std::vector<aig::Lit> roots = sequential_roots(g);
+    if (p == "--rewrite") {
+      aig::CompactResult r = opt::rewrite(g, roots);
+      g = reassemble(g, std::move(r.graph), r.roots);
+    } else if (p == "--balance") {
+      aig::CompactResult r = opt::balance(g, roots);
+      g = reassemble(g, std::move(r.graph), r.roots);
+    } else if (p == "--refactor") {
+      aig::CompactResult r = opt::refactor(g, roots);
+      g = reassemble(g, std::move(r.graph), r.roots);
+    } else if (p == "--fraig") {
+      opt::FraigResult r = opt::fraig(g, roots);
+      g = reassemble(g, std::move(r.graph), r.roots);
+    } else {
+      std::fprintf(stderr, "unknown pass '%s'\n", p.c_str());
+      return 1;
+    }
+    std::printf(" -> %s %zu", p.c_str() + 2, g.num_ands());
+  }
+  std::printf("\n");
+  save(g, out);
+  return 0;
+}
+
+int cmd_sim(const std::string& path, unsigned steps, std::uint64_t seed) {
+  aig::Aig g = load(path);
+  mc::EngineResult r = mc::check_random_sim(g, 0, steps, /*rounds=*/64, seed);
+  if (r.verdict == mc::Verdict::kFail)
+    std::printf("%s: bad output fires at depth %u\n", path.c_str(),
+                r.cex.depth());
+  else
+    std::printf("%s: no failure within %u random steps\n", path.c_str(),
+                steps);
+  return 0;
+}
+
+int cmd_diameter(const std::string& path, double seconds) {
+  aig::Aig g = load(path);
+  bdd::ReachBudget budget;
+  budget.seconds = seconds;
+  // Pure eccentricities (no early exit on property failure).
+  bdd::SymbolicModel m(g);
+  bdd::ReachResult fwd = bdd::forward_diameter(m, budget);
+  if (fwd.diameter)
+    std::printf("d_F = %u\n", *fwd.diameter);
+  else
+    std::printf("d_F = ovf\n");
+  bdd::SymbolicModel m2(g);
+  bdd::ReachResult bwd = bdd::backward_diameter(m2, budget);
+  if (bwd.diameter)
+    std::printf("d_B = %u\n", *bwd.diameter);
+  else
+    std::printf("d_B = ovf\n");
+  return 0;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: aigtool stats FILE\n"
+               "       aigtool convert IN OUT\n"
+               "       aigtool opt IN OUT [--rewrite|--refactor|--balance|--fraig ...]\n"
+               "       aigtool sim FILE [STEPS] [SEED]\n"
+               "       aigtool diameter FILE [SECONDS]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    usage();
+    return 1;
+  }
+  std::string cmd = argv[1];
+  try {
+    if (cmd == "stats") return cmd_stats(argv[2]);
+    if (cmd == "convert" && argc >= 4) return cmd_convert(argv[2], argv[3]);
+    if (cmd == "opt" && argc >= 4) {
+      std::vector<std::string> passes(argv + 4, argv + argc);
+      return cmd_opt(argv[2], argv[3], passes);
+    }
+    if (cmd == "sim")
+      return cmd_sim(argv[2], argc > 3 ? std::stoul(argv[3]) : 100,
+                     argc > 4 ? std::stoull(argv[4]) : 1);
+    if (cmd == "diameter")
+      return cmd_diameter(argv[2], argc > 3 ? std::stod(argv[3]) : 60.0);
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "aigtool: %s\n", ex.what());
+    return 1;
+  }
+  usage();
+  return 1;
+}

@@ -1,0 +1,331 @@
+// itpseq-mc — command-line model checker.
+//
+// The deployable front door to the library: reads a sequential circuit in
+// AIGER (.aig/.aag) or BLIF (.blif) format, runs one of the paper's
+// engines (or the portfolio), and reports PASS / FAIL / UNKNOWN together
+// with the depth measures of Table I.  Counterexamples can be minimized,
+// validated by replay, and written as AIGER witnesses.
+//
+// Exit codes follow the HWMCC/SAT convention:
+//   20  property holds (PASS)
+//   10  property violated (FAIL; witness available)
+//    0  undecided within the budget (UNKNOWN)
+//    1  usage or input error
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "aig/aiger_io.hpp"
+#include "io/blif.hpp"
+#include "mc/certify.hpp"
+#include "mc/engine.hpp"
+#include "mc/itpseq_verif.hpp"
+#include "mc/kinduction.hpp"
+#include "mc/portfolio.hpp"
+#include "mc/sim.hpp"
+#include "mc/trace_min.hpp"
+#include "mc/witness.hpp"
+#include "bdd/reach.hpp"
+
+using namespace itpseq;
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [options] FILE\n"
+               "\n"
+               "FILE                circuit in AIGER (.aig/.aag) or BLIF format\n"
+               "\n"
+               "options:\n"
+               "  -e, --engine E    itp | itp-part | itpseq | sitpseq |\n"
+               "                    itpseq-cba | itpseq-pba | itpseq-cba-pba |\n"
+               "                    bmc | kind | bdd | portfolio   (default sitpseq)\n"
+               "  -p, --property N  bad-output index to check (default 0)\n"
+               "  -t, --timeout S   wall-clock budget in seconds (default 60)\n"
+               "  -k, --max-bound K BMC bound limit (default 500)\n"
+               "      --scheme S    exact | assume   BMC target scheme (default assume)\n"
+               "      --itp-system S mcmillan | pudlak | inverse  (default mcmillan)\n"
+               "      --alpha A     serial fraction for sitpseq (default 0.5)\n"
+               "      --dynamic     dynamic serialization (overrides --alpha)\n"
+               "      --fraig       SAT-sweep interpolants before storing them\n"
+               "      --incremental incremental BMC solver (bmc engine only)\n"
+               "  -w, --witness F   write a FAIL witness to file F ('-' = stdout)\n"
+               "      --no-minimize do not minimize counterexample traces\n"
+               "      --validate    replay the counterexample before reporting\n"
+               "      --certify     on PASS, verify the engine's inductive-\n"
+               "                    invariant certificate independently\n"
+               "      --invariant F on PASS, write the certificate invariant\n"
+               "                    as a circuit (input i = latch i) to F\n"
+               "  -q, --quiet       verdict line only\n"
+               "  -h, --help        this message\n",
+               argv0);
+}
+
+aig::Aig load(const std::string& path) {
+  if (path.size() >= 5 && path.substr(path.size() - 5) == ".blif")
+    return io::read_blif_file(path);
+  return aig::read_aiger_file(path);
+}
+
+struct Args {
+  std::string file;
+  std::string engine = "sitpseq";
+  std::size_t property = 0;
+  double timeout = 60.0;
+  unsigned max_bound = 500;
+  std::string witness_file;
+  bool minimize = true;
+  bool validate = false;
+  bool certify = false;
+  std::string invariant_file;
+  bool quiet = false;
+  mc::EngineOptions opts;
+};
+
+bool parse_args(int argc, char** argv, Args& a) {
+  auto need = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "%s: missing argument for %s\n", argv[0], argv[i]);
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    std::string s = argv[i];
+    const char* v;
+    if (s == "-h" || s == "--help") return false;
+    if (s == "-e" || s == "--engine") {
+      if (!(v = need(i))) return false;
+      a.engine = v;
+    } else if (s == "-p" || s == "--property") {
+      if (!(v = need(i))) return false;
+      a.property = std::stoul(v);
+    } else if (s == "-t" || s == "--timeout") {
+      if (!(v = need(i))) return false;
+      a.timeout = std::stod(v);
+    } else if (s == "-k" || s == "--max-bound") {
+      if (!(v = need(i))) return false;
+      a.max_bound = static_cast<unsigned>(std::stoul(v));
+    } else if (s == "--scheme") {
+      if (!(v = need(i))) return false;
+      if (!std::strcmp(v, "exact"))
+        a.opts.scheme = cnf::TargetScheme::kExact;
+      else if (!std::strcmp(v, "assume"))
+        a.opts.scheme = cnf::TargetScheme::kExactAssume;
+      else {
+        std::fprintf(stderr, "unknown scheme '%s'\n", v);
+        return false;
+      }
+    } else if (s == "--itp-system") {
+      if (!(v = need(i))) return false;
+      if (!std::strcmp(v, "mcmillan"))
+        a.opts.itp_system = itp::System::kMcMillan;
+      else if (!std::strcmp(v, "pudlak"))
+        a.opts.itp_system = itp::System::kPudlak;
+      else if (!std::strcmp(v, "inverse"))
+        a.opts.itp_system = itp::System::kInverseMcMillan;
+      else {
+        std::fprintf(stderr, "unknown interpolation system '%s'\n", v);
+        return false;
+      }
+    } else if (s == "--alpha") {
+      if (!(v = need(i))) return false;
+      a.opts.serial_alpha = std::stod(v);
+    } else if (s == "--dynamic") {
+      a.opts.serial_dynamic = true;
+    } else if (s == "--fraig") {
+      a.opts.fraig_interpolants = true;
+    } else if (s == "--incremental") {
+      a.opts.bmc_incremental = true;
+    } else if (s == "-w" || s == "--witness") {
+      if (!(v = need(i))) return false;
+      a.witness_file = v;
+    } else if (s == "--no-minimize") {
+      a.minimize = false;
+    } else if (s == "--validate") {
+      a.validate = true;
+    } else if (s == "--certify") {
+      a.certify = true;
+    } else if (s == "--invariant") {
+      if (!(v = need(i))) return false;
+      a.invariant_file = v;
+    } else if (s == "-q" || s == "--quiet") {
+      a.quiet = true;
+    } else if (!s.empty() && s[0] == '-') {
+      std::fprintf(stderr, "unknown option '%s'\n", s.c_str());
+      return false;
+    } else if (a.file.empty()) {
+      a.file = s;
+    } else {
+      std::fprintf(stderr, "multiple input files\n");
+      return false;
+    }
+  }
+  if (a.file.empty()) {
+    std::fprintf(stderr, "no input file\n");
+    return false;
+  }
+  return true;
+}
+
+mc::EngineResult dispatch(const Args& a, const aig::Aig& g) {
+  mc::EngineOptions o = a.opts;
+  o.time_limit_sec = a.timeout;
+  o.max_bound = a.max_bound;
+  const std::string& e = a.engine;
+  if (e == "itp") return mc::check_itp(g, a.property, o);
+  if (e == "itp-part") {
+    o.itp_partitioned = true;
+    return mc::check_itp(g, a.property, o);
+  }
+  if (e == "itpseq") return mc::check_itpseq(g, a.property, o);
+  if (e == "sitpseq") return mc::check_sitpseq(g, a.property, o);
+  if (e == "itpseq-cba") return mc::check_itpseq_cba(g, a.property, o);
+  if (e == "itpseq-pba") return mc::check_itpseq_pba(g, a.property, o);
+  if (e == "itpseq-cba-pba")
+    return mc::check_itpseq_cba_pba(g, a.property, o);
+  if (e == "bmc") return mc::check_bmc(g, a.property, o);
+  if (e == "kind") return mc::check_kinduction(g, a.property, o);
+  if (e == "portfolio") {
+    mc::PortfolioOptions po;
+    po.time_limit_sec = a.timeout;
+    po.engine_defaults = o;
+    return mc::check_portfolio(g, a.property, po);
+  }
+  if (e == "bdd") {
+    bdd::ReachBudget rb;
+    rb.seconds = a.timeout;
+    bdd::ReachResult br = bdd::bdd_check(g, a.property, rb);
+    mc::EngineResult r;
+    r.engine = "BDD";
+    switch (br.verdict) {
+      case bdd::ReachVerdict::kPass: r.verdict = mc::Verdict::kPass; break;
+      case bdd::ReachVerdict::kFail:
+        r.verdict = mc::Verdict::kFail;
+        r.k_fp = br.depth;
+        break;
+      default: r.verdict = mc::Verdict::kUnknown; break;
+    }
+    return r;
+  }
+  throw std::runtime_error("unknown engine '" + e + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args a;
+  if (!parse_args(argc, argv, a)) {
+    usage(argv[0]);
+    return 1;
+  }
+  aig::Aig g;
+  try {
+    g = load(a.file);
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], ex.what());
+    return 1;
+  }
+  if (a.property >= g.num_outputs() && g.num_outputs() > 0) {
+    std::fprintf(stderr, "%s: property %zu out of range (%zu outputs)\n",
+                 argv[0], a.property, g.num_outputs());
+    return 1;
+  }
+  if (!a.quiet)
+    std::printf("c %s: %zu inputs, %zu latches, %zu ands, %zu outputs\n",
+                a.file.c_str(), g.num_inputs(), g.num_latches(), g.num_ands(),
+                g.num_outputs());
+
+  mc::EngineResult r;
+  try {
+    r = dispatch(a, g);
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], ex.what());
+    return 1;
+  }
+
+  // The BDD engine reports FAIL without a concrete trace.
+  bool have_trace =
+      r.verdict == mc::Verdict::kFail && !r.cex.inputs.empty();
+  if (have_trace && a.minimize)
+    r.cex = mc::minimize_trace(g, r.cex, a.property);
+  if (have_trace && a.validate && !mc::trace_is_cex(g, r.cex, a.property)) {
+    std::fprintf(stderr, "%s: internal error: witness failed validation\n",
+                 argv[0]);
+    return 1;
+  }
+  if (r.verdict == mc::Verdict::kPass && a.certify) {
+    if (!r.certificate.has_value()) {
+      std::fprintf(stderr,
+                   "%s: engine '%s' does not emit certificates; rerun with "
+                   "an interpolation engine\n",
+                   argv[0], r.engine.c_str());
+      return 1;
+    }
+    mc::CertifyResult c = mc::check_certificate(g, a.property, *r.certificate);
+    if (!c.ok) {
+      std::fprintf(stderr, "%s: certificate check failed: %s\n", argv[0],
+                   c.error.c_str());
+      return 1;
+    }
+    if (!a.quiet)
+      std::printf("c certificate: OK (invariant %zu AND nodes)\n",
+                  r.certificate->graph.cone_size(r.certificate->root));
+  }
+  if (r.verdict == mc::Verdict::kPass && !a.invariant_file.empty()) {
+    if (!r.certificate.has_value()) {
+      std::fprintf(stderr, "%s: engine '%s' does not emit certificates\n",
+                   argv[0], r.engine.c_str());
+      return 1;
+    }
+    aig::Aig inv = r.certificate->graph;  // copy; add the root as output
+    inv.add_output(r.certificate->root, "invariant");
+    if (a.invariant_file.size() >= 5 &&
+        a.invariant_file.substr(a.invariant_file.size() - 5) == ".blif")
+      io::write_blif_file(inv, a.invariant_file, "invariant");
+    else
+      aig::write_aiger_file(inv, a.invariant_file);
+  }
+
+  if (!a.quiet) {
+    std::printf("c engine=%s time=%.3fs k_fp=%u j_fp=%u\n", r.engine.c_str(),
+                r.seconds, r.k_fp, r.j_fp);
+    std::printf(
+        "c sat_calls=%llu conflicts=%llu proof_clauses=%llu max_itp=%zu\n",
+        static_cast<unsigned long long>(r.stats.sat_calls),
+        static_cast<unsigned long long>(r.stats.sat_conflicts),
+        static_cast<unsigned long long>(r.stats.proof_clauses),
+        r.stats.max_itp_nodes);
+    if (r.stats.cba_visible_latches > 0)
+      std::printf("c abstraction: visible=%u refinements=%u\n",
+                  r.stats.cba_visible_latches, r.stats.cba_refinements);
+  }
+  std::printf("s %s\n", mc::to_string(r.verdict));
+
+  if (r.verdict == mc::Verdict::kFail && !a.witness_file.empty()) {
+    if (!have_trace) {
+      std::fprintf(stderr,
+                   "%s: engine '%s' does not produce witnesses; rerun with a "
+                   "SAT-based engine\n",
+                   argv[0], r.engine.c_str());
+    } else if (a.witness_file == "-") {
+      mc::write_witness(r.cex, a.property, std::cout);
+    } else {
+      std::ofstream out(a.witness_file);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", a.witness_file.c_str());
+        return 1;
+      }
+      mc::write_witness(r.cex, a.property, out);
+    }
+  }
+  switch (r.verdict) {
+    case mc::Verdict::kPass: return 20;
+    case mc::Verdict::kFail: return 10;
+    case mc::Verdict::kUnknown: return 0;
+  }
+  return 0;
+}
