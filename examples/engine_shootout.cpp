@@ -1,5 +1,6 @@
-// engine_shootout.cpp — run all four engines across the benchmark suite and
-// print a per-instance comparison (a miniature of the paper's Table I).
+// engine_shootout.cpp — run the engines across the benchmark suite and
+// print a per-instance comparison (a miniature of the paper's Table I),
+// with BMC and PDR columns flanking the interpolation family.
 //
 // Usage: engine_shootout [per_instance_seconds] [family_filter]
 #include <cstdio>
@@ -19,8 +20,9 @@ int main(int argc, char** argv) {
   mc::EngineOptions opts;
   opts.time_limit_sec = limit;
 
-  std::printf("%-16s %4s %4s | %-22s %-22s %-22s %-22s\n", "instance", "#PI",
-              "#FF", "ITP", "ITPSEQ", "SITPSEQ", "ITPSEQCBA");
+  std::printf("%-16s %4s %4s | %-22s %-22s %-22s %-22s %-22s %-22s\n",
+              "instance", "#PI", "#FF", "BMC", "ITP", "ITPSEQ", "SITPSEQ",
+              "ITPSEQCBA", "PDR");
   auto cell = [](const mc::EngineResult& r) {
     char buf[64];
     std::snprintf(buf, sizeof buf, "%s k=%u j=%u %.2fs",
@@ -31,14 +33,17 @@ int main(int argc, char** argv) {
   for (auto& inst : bench::make_academic_suite()) {
     if (!filter.empty() && inst.family.find(filter) == std::string::npos)
       continue;
+    mc::EngineResult bm = mc::check_bmc(inst.model, 0, opts);
     mc::EngineResult a = mc::check_itp(inst.model, 0, opts);
     mc::EngineResult b = mc::check_itpseq(inst.model, 0, opts);
     mc::EngineResult c = mc::check_sitpseq(inst.model, 0, opts);
     mc::EngineResult d = mc::check_itpseq_cba(inst.model, 0, opts);
-    std::printf("%-16s %4zu %4zu | %-22s %-22s %-22s %-22s\n",
+    mc::EngineResult p = mc::check_pdr(inst.model, 0, opts);
+    std::printf("%-16s %4zu %4zu | %-22s %-22s %-22s %-22s %-22s %-22s\n",
                 inst.name.c_str(), inst.model.num_inputs(),
-                inst.model.num_latches(), cell(a).c_str(), cell(b).c_str(),
-                cell(c).c_str(), cell(d).c_str());
+                inst.model.num_latches(), cell(bm).c_str(), cell(a).c_str(),
+                cell(b).c_str(), cell(c).c_str(), cell(d).c_str(),
+                cell(p).c_str());
   }
   return 0;
 }

@@ -81,7 +81,7 @@ BddRef BddManager::exists_rec(BddRef f) {
   if (is_const(f)) return f;
   auto it = exists_cache_.find(f);
   if (it != exists_cache_.end()) return it->second;
-  const BddNode& n = nodes_[f];
+  const BddNode n = nodes_[f];  // by value: recursion below may grow nodes_
   BddRef lo = exists_rec(n.low);
   BddRef hi = exists_rec(n.high);
   BddRef r;
@@ -141,7 +141,7 @@ BddRef BddManager::rename_rec(BddRef f) {
   if (is_const(f)) return f;
   auto it = rename_cache_.find(f);
   if (it != rename_cache_.end()) return it->second;
-  const BddNode& n = nodes_[f];
+  const BddNode n = nodes_[f];  // by value: recursion below may grow nodes_
   BddRef lo = rename_rec(n.low);
   BddRef hi = rename_rec(n.high);
   unsigned nl = n.level < cur_map_->size() ? (*cur_map_)[n.level] : n.level;

@@ -76,5 +76,7 @@ EngineResult check_itpseq_cba_pba(const aig::Aig& model, std::size_t prop,
                                   EngineOptions opts = {});
 EngineResult check_bmc(const aig::Aig& model, std::size_t prop,
                        const EngineOptions& opts = {});
+EngineResult check_pdr(const aig::Aig& model, std::size_t prop,
+                       const EngineOptions& opts = {});
 
 }  // namespace itpseq::mc

@@ -3,6 +3,7 @@
 #include "mc/engine.hpp"
 #include "mc/itp_verif.hpp"
 #include "mc/itpseq_verif.hpp"
+#include "mc/pdr.hpp"
 
 namespace itpseq::mc {
 
@@ -44,6 +45,11 @@ EngineResult check_itpseq_cba_pba(const aig::Aig& model, std::size_t prop,
 EngineResult check_bmc(const aig::Aig& model, std::size_t prop,
                        const EngineOptions& opts) {
   return BmcEngine(model, prop, opts).run();
+}
+
+EngineResult check_pdr(const aig::Aig& model, std::size_t prop,
+                       const EngineOptions& opts) {
+  return PdrEngine(model, prop, opts).run();
 }
 
 }  // namespace itpseq::mc

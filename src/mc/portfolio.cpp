@@ -25,6 +25,8 @@ const char* to_string(PortfolioMember m) {
       return "ITPSEQCBA";
     case PortfolioMember::kKInduction:
       return "KIND";
+    case PortfolioMember::kPdr:
+      return "PDR";
   }
   return "?";
 }
@@ -185,6 +187,9 @@ EngineResult check_portfolio(const aig::Aig& model, std::size_t prop,
           break;
         case PortfolioMember::kKInduction:
           r = check_kinduction(model, prop, eo);
+          break;
+        case PortfolioMember::kPdr:
+          r = check_pdr(model, prop, eo);
           break;
       }
       if (r.verdict != Verdict::kUnknown) {

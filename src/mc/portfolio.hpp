@@ -24,6 +24,7 @@ enum class PortfolioMember : std::uint8_t {
   kSItpSeq,    ///< serial sequences, alpha = 0.5 (Fig. 4)
   kItpSeqCba,  ///< sequences + abstraction (Fig. 5)
   kKInduction, ///< temporal induction baseline
+  kPdr,        ///< property-directed reachability (IC3)
 };
 
 const char* to_string(PortfolioMember m);
@@ -33,7 +34,8 @@ struct PortfolioOptions {
   /// doubled each round, until `time_limit_sec` is exhausted.
   std::vector<PortfolioMember> members = {
       PortfolioMember::kRandomSim, PortfolioMember::kItp,
-      PortfolioMember::kSItpSeq, PortfolioMember::kItpSeqCba};
+      PortfolioMember::kPdr, PortfolioMember::kSItpSeq,
+      PortfolioMember::kItpSeqCba};
   double slice_seconds = 1.0;
   double time_limit_sec = 60.0;
   EngineOptions engine_defaults;

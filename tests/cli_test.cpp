@@ -76,12 +76,12 @@ TEST_F(CliTest, McFailExitCode10WithValidWitness) {
 TEST_F(CliTest, McEveryEngineAgrees) {
   for (const char* e :
        {"itp", "itp-part", "itpseq", "sitpseq", "itpseq-cba", "itpseq-pba",
-        "itpseq-cba-pba", "bmc", "kind", "bdd", "portfolio"}) {
+        "itpseq-cba-pba", "pdr", "bmc", "kind", "bdd", "portfolio"}) {
     std::string cmd =
         tool("itpseq-mc") + " -q -t 30 -e " + e + " " + fail_aag_;
     EXPECT_EQ(run(cmd), 10) << e;
   }
-  for (const char* e : {"itp", "itpseq", "sitpseq", "kind", "bdd"}) {
+  for (const char* e : {"itp", "itpseq", "sitpseq", "pdr", "kind", "bdd"}) {
     std::string cmd =
         tool("itpseq-mc") + " -q -t 30 -e " + e + " " + pass_aag_;
     EXPECT_EQ(run(cmd), 20) << e;
@@ -90,7 +90,7 @@ TEST_F(CliTest, McEveryEngineAgrees) {
 
 TEST_F(CliTest, McCertifyPassVerdicts) {
   for (const char* e : {"itp", "itpseq", "sitpseq", "itpseq-cba",
-                        "itpseq-pba", "itpseq-cba-pba"}) {
+                        "itpseq-pba", "itpseq-cba-pba", "pdr"}) {
     std::string out;
     int rc = run(tool("itpseq-mc") + " -t 30 --certify -e " + e + " " +
                      pass_aag_,
@@ -101,6 +101,20 @@ TEST_F(CliTest, McCertifyPassVerdicts) {
   // Engines without certificates must report an error under --certify.
   EXPECT_EQ(run(tool("itpseq-mc") + " -t 30 --certify -e bdd " + pass_aag_),
             1);
+}
+
+TEST_F(CliTest, McPdrEndToEnd) {
+  // FAIL side: validated witness written to stdout.
+  std::string out;
+  int rc = run(tool("itpseq-mc") + " -q -t 30 -e pdr --validate -w - " +
+                   fail_aag_,
+               &out);
+  EXPECT_EQ(rc, 10);
+  EXPECT_NE(out.find("1\nb0\n"), std::string::npos) << out;
+  // PASS side: the engine's inductive invariant re-checked independently.
+  rc = run(tool("itpseq-mc") + " -t 30 -e pdr --certify " + pass_aag_, &out);
+  EXPECT_EQ(rc, 20);
+  EXPECT_NE(out.find("certificate: OK"), std::string::npos) << out;
 }
 
 TEST_F(CliTest, McExportedInvariantIsACertificate) {

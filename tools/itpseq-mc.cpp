@@ -42,7 +42,8 @@ void usage(const char* argv0) {
                "options:\n"
                "  -e, --engine E    itp | itp-part | itpseq | sitpseq |\n"
                "                    itpseq-cba | itpseq-pba | itpseq-cba-pba |\n"
-               "                    bmc | kind | bdd | portfolio   (default sitpseq)\n"
+               "                    pdr | bmc | kind | bdd | portfolio\n"
+               "                    (default sitpseq)\n"
                "  -p, --property N  bad-output index to check (default 0)\n"
                "  -t, --timeout S   wall-clock budget in seconds (default 60)\n"
                "  -k, --max-bound K BMC bound limit (default 500)\n"
@@ -187,6 +188,7 @@ mc::EngineResult dispatch(const Args& a, const aig::Aig& g) {
   if (e == "itpseq-pba") return mc::check_itpseq_pba(g, a.property, o);
   if (e == "itpseq-cba-pba")
     return mc::check_itpseq_cba_pba(g, a.property, o);
+  if (e == "pdr") return mc::check_pdr(g, a.property, o);
   if (e == "bmc") return mc::check_bmc(g, a.property, o);
   if (e == "kind") return mc::check_kinduction(g, a.property, o);
   if (e == "portfolio") {
