@@ -1,0 +1,116 @@
+// bench_portfolio.cpp — threaded portfolio vs. its single members.
+//
+// For each instance of a mixed PASS/FAIL circuit set: wall-clock of each
+// single member engine, of the threaded portfolio (with lemma exchange) and
+// of the sequential round-robin portfolio.  The number to watch is the
+// "vs best" column — the threaded portfolio should track the best single
+// member per instance (small scheduling overhead aside) instead of paying
+// the round-robin tax, while the exchange columns count the lemmas that
+// crossed engine boundaries.
+//
+// Usage: bench_portfolio [per_instance_seconds] [family_filter]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_circuits/suite.hpp"
+#include "mc/portfolio.hpp"
+
+using namespace itpseq;
+
+int main(int argc, char** argv) {
+  double limit = argc > 1 ? std::atof(argv[1]) : 5.0;
+  std::string filter = argc > 2 ? argv[2] : "";
+
+  const std::vector<mc::PortfolioMember> members = {
+      mc::PortfolioMember::kRandomSim, mc::PortfolioMember::kBmc,
+      mc::PortfolioMember::kSItpSeq, mc::PortfolioMember::kPdr};
+
+  std::printf("%-18s %-4s | %9s %9s %9s %9s | %9s %8s %9s | %6s %6s %-10s\n",
+              "instance", "exp", "sim", "bmc", "sitpseq", "pdr", "threaded",
+              "vs best", "seqrobin", "pub", "cons", "winner");
+
+  double total_threaded = 0.0, total_best = 0.0, total_seq = 0.0;
+  unsigned instances = 0, threaded_decided = 0, regressions = 0;
+  std::uint64_t total_pub = 0, total_cons = 0;
+
+  for (const auto& inst : bench::make_academic_suite(32)) {
+    if (!filter.empty() && inst.family.find(filter) == std::string::npos)
+      continue;
+    if (inst.expected == bench::Expected::kOpen) continue;
+
+    // Single members, each with the full budget.
+    double best = -1.0;
+    double singles[4] = {0, 0, 0, 0};
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      mc::PortfolioOptions po;
+      po.members = {members[i]};
+      po.jobs = 1;
+      po.exchange = false;
+      po.time_limit_sec = limit;
+      // One slice covering the whole budget: the baseline member must run
+      // contiguously, not be restarted by the doubling-slice scheduler.
+      po.slice_seconds = limit;
+      mc::EngineResult r = mc::check_portfolio(inst.model, 0, po);
+      singles[i] = r.seconds;
+      if (r.verdict != mc::Verdict::kUnknown &&
+          (best < 0 || r.seconds < best))
+        best = r.seconds;
+    }
+    if (best < 0) best = limit;  // nobody decided: the bar is the budget
+
+    mc::PortfolioOptions po;
+    po.members = members;
+    po.time_limit_sec = limit;
+    mc::EngineResult threaded = mc::check_portfolio(inst.model, 0, po);
+
+    mc::PortfolioOptions seq = po;
+    seq.jobs = 1;
+    mc::EngineResult robin = mc::check_portfolio(inst.model, 0, seq);
+
+    // Allowance: 25% scheduling overhead on top of the best single member,
+    // scaled by core contention — with fewer cores than members the racing
+    // members share cores until the winner cancels them, costing up to
+    // members/cores of the winner's solo time (gone on a wide machine).
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0) hw = 1;
+    double contention = static_cast<double>(members.size()) /
+                        std::min<double>(hw, members.size());
+    bool regress = threaded.seconds > best * 1.25 * contention + 0.1;
+    // Winner = the member name after the "portfolio/" prefix, if any.
+    const char* winner = std::strchr(threaded.engine.c_str(), '/');
+    winner = winner != nullptr ? winner + 1 : "-";
+    std::printf(
+        "%-18s %-4s | %8.2fs %8.2fs %8.2fs %8.2fs | %8.2fs %7.2fx %8.2fs | "
+        "%6llu %6llu %-10s%s\n",
+        inst.name.c_str(),
+        inst.expected == bench::Expected::kPass ? "PASS" : "FAIL", singles[0],
+        singles[1], singles[2], singles[3], threaded.seconds,
+        threaded.seconds / (best > 1e-9 ? best : 1e-9), robin.seconds,
+        static_cast<unsigned long long>(threaded.stats.lemmas_published),
+        static_cast<unsigned long long>(threaded.stats.lemmas_consumed),
+        winner, regress ? "  <-- slower than best member" : "");
+
+    ++instances;
+    total_threaded += threaded.seconds;
+    total_best += best;
+    total_seq += robin.seconds;
+    total_pub += threaded.stats.lemmas_published;
+    total_cons += threaded.stats.lemmas_consumed;
+    if (threaded.verdict != mc::Verdict::kUnknown) ++threaded_decided;
+    if (regress) ++regressions;
+  }
+
+  std::printf(
+      "\n%u instances | threaded %.2fs vs best-member %.2fs vs round-robin "
+      "%.2fs | decided %u | lemmas published %llu consumed %llu | "
+      "regressions %u\n",
+      instances, total_threaded, total_best, total_seq, threaded_decided,
+      static_cast<unsigned long long>(total_pub),
+      static_cast<unsigned long long>(total_cons), regressions);
+  return 0;
+}

@@ -1,6 +1,7 @@
 // engine_shootout.cpp — run the engines across the benchmark suite and
 // print a per-instance comparison (a miniature of the paper's Table I),
-// with BMC and PDR columns flanking the interpolation family.
+// with BMC and PDR columns flanking the interpolation family and the
+// threaded portfolio (all engines racing + lemma exchange) as the closer.
 //
 // Usage: engine_shootout [per_instance_seconds] [family_filter]
 #include <cstdio>
@@ -10,6 +11,7 @@
 
 #include "bench_circuits/suite.hpp"
 #include "mc/engine.hpp"
+#include "mc/portfolio.hpp"
 
 using namespace itpseq;
 
@@ -19,10 +21,13 @@ int main(int argc, char** argv) {
 
   mc::EngineOptions opts;
   opts.time_limit_sec = limit;
+  mc::PortfolioOptions popts;
+  popts.time_limit_sec = limit;
 
-  std::printf("%-16s %4s %4s | %-22s %-22s %-22s %-22s %-22s %-22s\n",
-              "instance", "#PI", "#FF", "BMC", "ITP", "ITPSEQ", "SITPSEQ",
-              "ITPSEQCBA", "PDR");
+  std::printf(
+      "%-16s %4s %4s | %-22s %-22s %-22s %-22s %-22s %-22s %-26s\n",
+      "instance", "#PI", "#FF", "BMC", "ITP", "ITPSEQ", "SITPSEQ",
+      "ITPSEQCBA", "PDR", "PORTFOLIO");
   auto cell = [](const mc::EngineResult& r) {
     char buf[64];
     std::snprintf(buf, sizeof buf, "%s k=%u j=%u %.2fs",
@@ -39,11 +44,17 @@ int main(int argc, char** argv) {
     mc::EngineResult c = mc::check_sitpseq(inst.model, 0, opts);
     mc::EngineResult d = mc::check_itpseq_cba(inst.model, 0, opts);
     mc::EngineResult p = mc::check_pdr(inst.model, 0, opts);
-    std::printf("%-16s %4zu %4zu | %-22s %-22s %-22s %-22s %-22s %-22s\n",
-                inst.name.c_str(), inst.model.num_inputs(),
-                inst.model.num_latches(), cell(bm).c_str(), cell(a).c_str(),
-                cell(b).c_str(), cell(c).c_str(), cell(d).c_str(),
-                cell(p).c_str());
+    mc::EngineResult pf = mc::check_portfolio(inst.model, 0, popts);
+    const char* pf_winner = std::strchr(pf.engine.c_str(), '/');
+    pf_winner = pf_winner != nullptr ? pf_winner + 1 : "-";
+    char pf_cell[80];
+    std::snprintf(pf_cell, sizeof pf_cell, "%s %.2fs %s",
+                  mc::to_string(pf.verdict), pf.seconds, pf_winner);
+    std::printf(
+        "%-16s %4zu %4zu | %-22s %-22s %-22s %-22s %-22s %-22s %-26s\n",
+        inst.name.c_str(), inst.model.num_inputs(), inst.model.num_latches(),
+        cell(bm).c_str(), cell(a).c_str(), cell(b).c_str(), cell(c).c_str(),
+        cell(d).c_str(), cell(p).c_str(), pf_cell);
   }
   return 0;
 }

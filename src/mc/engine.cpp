@@ -43,6 +43,7 @@ double Engine::remaining() const {
 sat::Budget Engine::sat_budget() const {
   sat::Budget b;
   b.seconds = remaining();
+  b.cancel = opts_.cancel;
   return b;
 }
 

@@ -4,6 +4,13 @@
 // property under check, the wall-clock budget, the symbolic state space for
 // interpolants, the depth-0 property check, and counterexample extraction
 // from a satisfiable BMC instance.
+//
+// Cancellation contract (EngineOptions::cancel): engines are cooperative.
+// Every engine polls the token at the head of its main loop (out_of_time()
+// covers it) and passes it into each SAT call (sat_budget() covers it), so
+// a set token surfaces as kUnknown within one short SAT burst.  Engines
+// never detach threads or leave work running past run()'s return — the
+// threaded portfolio relies on this to join all members after a winner.
 #pragma once
 
 #include <chrono>
@@ -35,8 +42,15 @@ class Engine {
 
   /// Seconds left in the budget (>= 0).
   double remaining() const;
-  bool out_of_time() const { return remaining() <= 0.0; }
-  /// SAT budget covering the remaining engine time.
+  /// Cooperative cancellation requested?
+  bool cancelled() const {
+    return opts_.cancel != nullptr &&
+           opts_.cancel->load(std::memory_order_relaxed);
+  }
+  /// Budget exhausted or cancellation requested — engines poll this at
+  /// every loop head and stop with kUnknown when it fires.
+  bool out_of_time() const { return cancelled() || remaining() <= 0.0; }
+  /// SAT budget covering the remaining engine time (and cancellation).
   sat::Budget sat_budget() const;
 
   /// Handles trivial properties and the depth-0 check (S0 AND bad(V^0)).

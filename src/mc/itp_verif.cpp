@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "itp/interpolate.hpp"
+#include "mc/lemma_exchange.hpp"
 
 namespace itpseq::mc {
 
@@ -22,6 +23,31 @@ void ItpVerifEngine::execute(EngineResult& out) {
   aig::Aig& G = space_.graph();
   const bool partitioned = opts_.itp_partitioned;
   const bool assume = opts_.scheme == cnf::TargetScheme::kExactAssume;
+
+  // Lemma exchange: consumed kInvariant lemmas behave exactly like model
+  // invariant constraints (they hold in every reachable state and are
+  // inductive), so they are asserted wherever constraints are — every
+  // frame of every instance — and conjoined into the fixpoint target and
+  // the PASS certificate.  kFrame lemmas are NOT used here: they would cut
+  // A-side models of the over-approximate iterations and break the image
+  // closure the fixpoint argument needs.  Freshly extracted interpolants
+  // are published as kCandidate latch clauses (PDR verifies before use).
+  LemmaFeed feed{opts_.exchange, opts_.exchange_source};
+  aig::Lit inv = aig::kTrue;  // conjunction of consumed invariant lemmas
+  std::size_t inv_used = 0;
+  auto poll_exchange = [&] {
+    feed.poll();
+    for (; inv_used < feed.invariants.size(); ++inv_used) {
+      inv = G.make_and(
+          inv, latch_clause_pred(G, feed.invariants[inv_used].clause));
+      ++out.stats.lemmas_consumed;
+    }
+  };
+  auto publish_terms = [&](aig::Lit term) {
+    out.stats.lemmas_published += publish_candidates(
+        opts_.exchange, G, term, /*quota=*/8, /*max_len=*/6,
+        opts_.exchange_source);
+  };
 
   // Builds and solves one instance: A = front ∧ T(V^0,V^1) (label 1) and
   // either the bound-k B (hi_frame = k, bound target) or a single exact /
@@ -44,6 +70,10 @@ void ItpVerifEngine::execute(EngineResult& out) {
     unsigned frames = bound_target ? k : target_frame;
     for (unsigned t = 1; t < frames; ++t) unr.add_transition(t, 2);
     for (unsigned t = 1; t <= frames; ++t) unr.assert_constraints(t, 2);
+    for (const Lemma& l : feed.invariants) {
+      assert_lemma_clause(unr, l, 0, 1);
+      for (unsigned t = 1; t <= frames; ++t) assert_lemma_clause(unr, l, t, 2);
+    }
     if (bound_target) {
       std::vector<sat::Lit> disj;
       for (unsigned t = 1; t <= k; ++t) disj.push_back(unr.bad_lit(t, 2, prop_));
@@ -101,10 +131,12 @@ void ItpVerifEngine::execute(EngineResult& out) {
       out.verdict = Verdict::kUnknown;
       return;
     }
+    poll_exchange();
     // Nothing survives an outer restart, so the state-set AIG can be
-    // garbage-collected wholesale once it grows.
+    // garbage-collected wholesale once it grows (the invariant-lemma
+    // conjunction is the only literal that must survive).
     if (opts_.compact_threshold > 0 && G.num_ands() > opts_.compact_threshold)
-      space_.compact({});
+      space_.compact({&inv});
 
     aig::Lit R = space_.init_pred();
     aig::Lit front = aig::kNullLit;  // null = S0 (exact initial states)
@@ -151,12 +183,16 @@ void ItpVerifEngine::execute(EngineResult& out) {
       if (spurious) break;  // deepen the unrolling
 
       out.stats.max_itp_nodes = std::max(out.stats.max_itp_nodes, G.cone_size(I));
-      Implication imp = space_.implies(I, R, remaining());
+      publish_terms(I);
+      // Fixpoint modulo the invariant lemmas: new states within inv are
+      // already covered, and R ∧ inv is the inductive set (certificate).
+      Implication imp =
+          space_.implies(G.make_and(I, inv), R, remaining(), opts_.cancel);
       if (imp == Implication::kHolds) {
         out.verdict = Verdict::kPass;
         out.k_fp = k;
         out.j_fp = j + 1;
-        out.certificate = make_certificate(R);
+        out.certificate = make_certificate(G.make_and(R, inv));
         return;
       }
       if (imp == Implication::kUnknown) {

@@ -37,6 +37,10 @@ ItpSeqEngine::ItpSeqEngine(const aig::Aig& model, std::size_t prop,
     // Initial abstraction: exactly the property support.
     visible_ = prop_support_;
   }
+  if (mode_ == AbstractionMode::kNone) {
+    feed_.hub = opts_.exchange;
+    feed_.self = opts_.exchange_source;
+  }
 }
 
 const char* ItpSeqEngine::name() const {
@@ -85,6 +89,14 @@ ItpSeqEngine::ShiftedSolve ItpSeqEngine::solve_shifted(aig::Lit start,
     for (unsigned t = 1; t < local_k; ++t)
       s.solver->add_clause({sat::neg(unr.bad_lit(t, t + 1, prop_))}, t + 1);
   s.solver->add_clause({unr.bad_lit(local_k, local_k + 1, prop_)}, local_k + 1);
+
+  // Consumed invariant lemmas hold in every reachable state and are
+  // inductive, so they are asserted like the model's invariant constraints
+  // (same frames, same partition labels).  Feed is empty outside concrete
+  // mode.
+  for (const Lemma& l : feed_.invariants)
+    for (unsigned t = 0; t <= local_k; ++t)
+      assert_lemma_clause(unr, l, t, std::min(t + 1, local_k + 1));
 
   s.status = s.solver->solve(sat_budget());
   absorb_stats(out, *s.solver);
@@ -221,12 +233,22 @@ void ItpSeqEngine::execute(EngineResult& out) {
       return;
     }
 
+    // Safe point for the lemma exchange: between bounds.  New invariant
+    // lemmas extend inv_ (constant within a bound).
+    feed_.poll();
+    for (; inv_used_ < feed_.invariants.size(); ++inv_used_) {
+      inv_ = G.make_and(
+          inv_, latch_clause_pred(G, feed_.invariants[inv_used_].clause));
+      ++out.stats.lemmas_consumed;
+    }
+
     // Bound the growth of the interpolant store: rebuild the state-set AIG
-    // keeping only the live matrix columns.
+    // keeping only the live matrix columns (and the invariant conjunction).
     if (opts_.compact_threshold > 0 &&
         G.num_ands() > opts_.compact_threshold) {
       std::vector<aig::Lit*> roots;
       for (unsigned j = 1; j < calI_.size(); ++j) roots.push_back(&calI_[j]);
+      roots.push_back(&inv_);
       space_.compact(std::move(roots));
     }
 
@@ -393,6 +415,19 @@ void ItpSeqEngine::execute(EngineResult& out) {
       out.stats.max_itp_nodes =
           std::max(out.stats.max_itp_nodes, G.cone_size(terms[j]));
 
+    // Share the syntactic latch clauses of the fresh terms as candidates
+    // (quota per bound, spent across the terms in sequence order).
+    if (feed_.hub != nullptr) {
+      std::size_t quota = 16;
+      for (unsigned j = 1; j <= k && quota > 0; ++j) {
+        std::size_t accepted = publish_candidates(
+            feed_.hub, G, terms[j], quota, /*max_len=*/6,
+            opts_.exchange_source);
+        out.stats.lemmas_published += accepted;
+        quota -= std::min(quota, accepted);
+      }
+    }
+
     // --- matrix update and fixpoint checks (Fig. 2) ----------------------
     calI_.resize(k + 1, aig::kTrue);
     for (unsigned j = 1; j < k; ++j) calI_[j] = G.make_and(calI_[j], terms[j]);
@@ -400,12 +435,15 @@ void ItpSeqEngine::execute(EngineResult& out) {
 
     aig::Lit R = space_.init_pred(visible_);
     for (unsigned j = 1; j <= k; ++j) {
-      Implication imp = space_.implies(calI_[j], R, remaining());
+      // Fixpoint modulo the invariant lemmas (inv_ = kTrue without a hub):
+      // R ∧ inv_ is the inductive set the certificate reports.
+      Implication imp = space_.implies(G.make_and(calI_[j], inv_), R,
+                                       remaining(), opts_.cancel);
       if (imp == Implication::kHolds) {
         out.verdict = Verdict::kPass;
         out.k_fp = k;
         out.j_fp = j;
-        out.certificate = make_certificate(R);
+        out.certificate = make_certificate(G.make_and(R, inv_));
         return;
       }
       if (imp == Implication::kUnknown) {

@@ -24,6 +24,8 @@
 #include <queue>
 #include <tuple>
 
+#include "mc/lemma_exchange.hpp"
+
 namespace itpseq::mc {
 namespace {
 
@@ -153,6 +155,14 @@ class PdrContext {
     acts_.push_back(sat::kNoLit);  // index 0 unused
     acts_.push_back(new_act());
 
+    // F_inf: clauses proven inductive (relative to F_inf itself), i.e. part
+    // of every frame forever.  Guarded by one activation literal that every
+    // query assumes.  Locally proven clauses land here via propagation;
+    // foreign invariant/frame/candidate lemmas via consume_foreign().
+    act_inf_ = new_act();
+    feed_.hub = opts_.exchange;
+    feed_.self = opts_.exchange_source;
+
     // Lifting cones: a bad-state cube must preserve bad and the frame-0
     // constraints; a predecessor cube must preserve the successor's
     // next-state functions and the constraints at both frames (frame-1
@@ -172,6 +182,9 @@ class PdrContext {
   // --- small helpers -------------------------------------------------------
 
   bool out_of_time() const {
+    if (opts_.cancel != nullptr &&
+        opts_.cancel->load(std::memory_order_relaxed))
+      return true;
     return std::chrono::steady_clock::now() >= deadline_;
   }
 
@@ -181,6 +194,7 @@ class PdrContext {
         0.0, std::chrono::duration<double>(deadline_ -
                                            std::chrono::steady_clock::now())
                  .count());
+    b.cancel = opts_.cancel;
     return b;
   }
 
@@ -217,11 +231,13 @@ class PdrContext {
     }
   }
 
-  /// Assumptions activating F_lvl (plus constraints at both frames).
+  /// Assumptions activating F_lvl (plus constraints at both frames and the
+  /// proven-invariant clause set F_inf, part of every frame).
   void frame_assumptions(unsigned lvl, std::vector<sat::Lit>& as) const {
     as.clear();
     as.push_back(act_c0_);
     as.push_back(act_c1_);
+    as.push_back(act_inf_);
     if (lvl == 0) as.push_back(act_init_);
     for (std::size_t j = std::max<unsigned>(lvl, 1); j < acts_.size(); ++j)
       as.push_back(acts_[j]);
@@ -319,6 +335,7 @@ class PdrContext {
     ++stats_.queries;
     as_.clear();
     as_.push_back(act_c0_);
+    as_.push_back(act_inf_);
     for (std::size_t j = k_; j < acts_.size(); ++j) as_.push_back(acts_[j]);
     as_.push_back(bad0_);
     sat::Status st = solver_.solve_assuming(as_, budget());
@@ -330,6 +347,8 @@ class PdrContext {
 
   /// Is the cube already excluded from F_lvl by a stored lemma?
   bool is_blocked(const Cube& c, unsigned lvl) const {
+    for (const Cube& b : inf_cubes_)
+      if (cube_subsumes(b, c)) return true;
     for (std::size_t j = lvl; j < stored_.size(); ++j)
       for (const Cube& b : stored_[j])
         if (cube_subsumes(b, c)) return true;
@@ -398,6 +417,125 @@ class PdrContext {
            consecution(lvl + 1, g, nullptr, nullptr) == sat::Status::kUnsat)
       ++lvl;
     return lvl;
+  }
+
+  // --- F_inf and the lemma exchange ----------------------------------------
+
+  /// Is clause ¬g inductive on its own (relative to F_inf):
+  /// F_inf ∧ ¬g ∧ T ∧ g' unsatisfiable?  Such a clause holds in every
+  /// reachable state and belongs to every frame forever.
+  bool inductive_check(const Cube& g) {
+    ++stats_.queries;
+    sat::Lit tmp = new_act();
+    std::vector<sat::Lit> cls{sat::neg(tmp)};
+    for (CubeLit l : g) cls.push_back(sat::neg(cube_lit_at(l, 0)));
+    solver_.add_clause(std::move(cls), 0);
+    as_.clear();
+    as_.push_back(act_c0_);
+    as_.push_back(act_c1_);
+    as_.push_back(act_inf_);
+    as_.push_back(tmp);
+    for (CubeLit l : g) as_.push_back(cube_lit_at(l, 1));
+    sat::Status st = solver_.solve_assuming(as_, budget());
+    solver_.add_clause({sat::neg(tmp)}, 0);
+    return st == sat::Status::kUnsat;
+  }
+
+  /// Record a proven-invariant clause: member of every frame from now on.
+  void add_to_inf(const Cube& g) {
+    inf_cubes_.push_back(g);
+    ++stats_.invariant_lemmas;
+    std::vector<sat::Lit> cls{sat::neg(act_inf_)};
+    for (CubeLit l : g) cls.push_back(sat::neg(cube_lit_at(l, 0)));
+    solver_.add_clause(std::move(cls), 0);
+    // Invariant clauses subsume frame bookkeeping for the same states.
+    for (std::size_t i = 1; i < stored_.size(); ++i) {
+      auto& list = stored_[i];
+      std::size_t before = list.size();
+      list.erase(std::remove_if(list.begin(), list.end(),
+                                [&](const Cube& b) {
+                                  return cube_subsumes(g, b);
+                                }),
+                 list.end());
+      stats_.subsumed += before - list.size();
+    }
+  }
+
+  /// Publish a lemma (clause over latches) to the hub.  The cube and the
+  /// clause use the same literal packing: cube "latch=value" negates to
+  /// clause literal latch^value.
+  void publish(const Cube& c, LemmaGrade grade, unsigned bound) {
+    if (opts_.exchange == nullptr) return;
+    Lemma l;
+    l.grade = grade;
+    l.bound = bound;
+    l.source = opts_.exchange_source;
+    l.clause.reserve(c.size());
+    for (CubeLit cl : c)
+      l.clause.push_back(mk_latch_lit(cl_index(cl), cl_value(cl)));
+    if (opts_.exchange->publish(std::move(l))) ++stats_.exch_published;
+  }
+
+  enum class Adopt { kAdopted, kRejected, kRetry };
+
+  /// Try to take one foreign lemma.  Every grade funnels through a SAT
+  /// check of our own (inductive_check or consecution), so a bogus
+  /// candidate can cost a query but can never corrupt the frame trace.
+  Adopt adopt(const Lemma& l) {
+    Cube cube;
+    cube.reserve(l.clause.size());
+    for (LatchLit ll : l.clause)
+      cube.push_back(mk_cl(latch_lit_index(ll), latch_lit_sign(ll)));
+    std::sort(cube.begin(), cube.end());
+    if (cube.empty() || intersects_init(cube)) return Adopt::kRejected;
+    // Subsumed or not (yet) inductive here: both may change as the frontier
+    // moves, so the caller keeps the lemma for a bounded number of retries.
+    if (is_blocked(cube, k_)) return Adopt::kRetry;
+    if (inductive_check(cube)) {
+      add_to_inf(cube);
+      ++stats_.exch_consumed;
+      publish(cube, LemmaGrade::kInvariant, 0);  // strength upgrade
+      return Adopt::kAdopted;
+    }
+    if (consecution(k_ - 1, cube, nullptr, nullptr) == sat::Status::kUnsat) {
+      add_blocked(cube, k_);
+      ++stats_.exch_consumed;
+      return Adopt::kAdopted;
+    }
+    return Adopt::kRetry;
+  }
+
+  /// Safe point: drain the hub into the pending list and attempt adoption;
+  /// lemmas that could not be used yet are retried at later frontiers a few
+  /// times before being dropped.
+  void consume_foreign() {
+    if (feed_.hub == nullptr) return;
+    feed_.poll();
+    auto take = [&](const std::vector<Lemma>& bucket, std::size_t& done) {
+      for (; done < bucket.size(); ++done)
+        pending_.push_back({bucket[done], 0});
+    };
+    take(feed_.invariants, inv_done_);
+    take(feed_.frames, fr_done_);
+    take(feed_.candidates, cand_done_);
+
+    constexpr unsigned kMaxTries = 3;
+    std::size_t w = 0;
+    auto retain = [&](std::size_t r) {
+      // Self-move-assignment would empty the element's clause vector.
+      if (w != r) pending_[w] = std::move(pending_[r]);
+      ++w;
+    };
+    for (std::size_t r = 0; r < pending_.size(); ++r) {
+      if (out_of_time()) {
+        // Keep everything unattempted for the next safe point.
+        for (; r < pending_.size(); ++r) retain(r);
+        break;
+      }
+      Adopt o = adopt(pending_[r].lemma);
+      if (o == Adopt::kRetry && ++pending_[r].tries < kMaxTries) retain(r);
+    }
+    pending_.resize(w);
   }
 
   // --- counterexamples -----------------------------------------------------
@@ -509,8 +647,16 @@ class PdrContext {
         if (st == sat::Status::kUnknown) return StepOutcome::kTimeout;
         if (st == sat::Status::kUnsat) {
           stored_[i].erase(it);
-          add_blocked(c, i + 1);
           ++stats_.propagated;
+          if (i + 1 == k_ && inductive_check(c)) {
+            // Reached the frontier and inductive on its own: promote to
+            // F_inf and share as a proven invariant.
+            add_to_inf(c);
+            publish(c, LemmaGrade::kInvariant, 0);
+          } else {
+            add_blocked(c, i + 1);
+            publish(c, LemmaGrade::kFrame, i + 1);
+          }
         }
       }
     }
@@ -524,16 +670,16 @@ class PdrContext {
       if (!stored_[i].empty()) continue;
       std::vector<aig::Lit> clauses;
       aig::Aig& g = space_.graph();
-      for (std::size_t j = i + 1; j < stored_.size(); ++j) {
-        for (const Cube& b : stored_[j]) {
-          std::vector<aig::Lit> lits;
-          for (CubeLit l : b) {
-            aig::Lit in = space_.latch_input(cl_index(l));
-            lits.push_back(cl_value(l) ? aig::lit_not(in) : in);
-          }
-          clauses.push_back(g.make_or_many(lits));
-        }
-      }
+      // A blocked cube's clause reuses the cube's packing verbatim: the
+      // clause literal for "latch = value" is latch^value, i.e. sign bit =
+      // value bit, so latch_clause_pred applies directly.
+      // F_i = F_inf clauses plus everything stored above i; both parts are
+      // needed for the certificate to be inductive on its own.
+      for (const Cube& b : inf_cubes_)
+        clauses.push_back(latch_clause_pred(g, b));
+      for (std::size_t j = i + 1; j < stored_.size(); ++j)
+        for (const Cube& b : stored_[j])
+          clauses.push_back(latch_clause_pred(g, b));
       invariant_ = g.make_and_many(clauses);
       out.verdict = Verdict::kPass;
       out.j_fp = i;
@@ -555,11 +701,21 @@ class PdrContext {
   sat::Lit act_init_ = sat::kNoLit;
   sat::Lit act_c0_ = sat::kNoLit;
   sat::Lit act_c1_ = sat::kNoLit;
+  sat::Lit act_inf_ = sat::kNoLit;  // guards the proven-invariant clauses
   std::vector<sat::Lit> acts_;  // per-frame lemma activation (index 0 unused)
   std::vector<signed char> reset_;  // per-latch reset value, -1 = undef
 
   unsigned k_ = 1;  // frontier frame K
   std::vector<std::vector<Cube>> stored_;
+  std::vector<Cube> inf_cubes_;  // F_inf: clauses in every frame forever
+
+  LemmaFeed feed_;  // exchange subscription (inactive without a hub)
+  std::size_t inv_done_ = 0, fr_done_ = 0, cand_done_ = 0;
+  struct PendingLemma {
+    Lemma lemma;
+    unsigned tries = 0;
+  };
+  std::vector<PendingLemma> pending_;  // foreign lemmas awaiting adoption
 
   std::vector<ObNode> nodes_;
   std::priority_queue<Obligation, std::vector<Obligation>, ObOrder> queue_;
@@ -577,6 +733,7 @@ void PdrContext::run(EngineResult& out) {
   while (k_ <= opts_.max_bound) {
     out.k_fp = k_;
     stats_.frames = k_;
+    consume_foreign();  // safe point: between frontiers, queue empty
     StepOutcome r = strengthen(out);
     if (r == StepOutcome::kFailed) return;
     if (r == StepOutcome::kTimeout) {
@@ -604,6 +761,8 @@ void PdrEngine::execute(EngineResult& out) {
   ctx.run(out);
   out.stats.sat_calls += pstats_.queries;
   out.stats.sat_conflicts += ctx.solver_conflicts();
+  out.stats.lemmas_published += pstats_.exch_published;
+  out.stats.lemmas_consumed += pstats_.exch_consumed;
   if (out.verdict == Verdict::kPass && !out.certificate.has_value())
     out.certificate = make_certificate(ctx.invariant());
 }

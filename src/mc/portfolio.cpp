@@ -1,9 +1,15 @@
+// portfolio.cpp — threaded portfolio scheduler with cooperative
+// cancellation and cross-engine lemma exchange (see portfolio.hpp for the
+// scheduler/cancellation/exchange contracts).
 #include "mc/portfolio.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <mutex>
+#include <thread>
 
 #include "mc/kinduction.hpp"
-#include "mc/sim.hpp"
+#include "mc/lemma_exchange.hpp"
 
 namespace itpseq::mc {
 
@@ -41,12 +47,63 @@ std::uint64_t next_word(std::uint64_t& state) {
   return state;
 }
 
+/// Base rounds of the random-simulation sweep, shared by both schedulers
+/// so the explored trace enumeration never depends on wall-clock or thread
+/// interleaving.  Sequential rounds *extend* the sweep (kSimSweepRounds <<
+/// round); since a longer sweep explores the identical prefix first, the
+/// first counterexample found is still a pure function of the seed —
+/// budget/cancellation can truncate (degrading FAIL to UNKNOWN) but never
+/// change which witness is reported.
+constexpr unsigned kSimSweepRounds = 4096;
+
+/// Run one member to completion under `eo` (budget, cancellation token and
+/// exchange hub are all inside).  `sim_rounds` sizes the random-simulation
+/// sweep and must be derived deterministically by the caller.
+EngineResult run_member(const aig::Aig& model, std::size_t prop,
+                        PortfolioMember m, const EngineOptions& eo,
+                        std::uint64_t sim_seed, unsigned sim_rounds) {
+  switch (m) {
+    case PortfolioMember::kRandomSim:
+      return check_random_sim(model, prop, /*depth=*/64, sim_rounds,
+                              sim_seed, eo.cancel, eo.time_limit_sec);
+    case PortfolioMember::kBmc:
+      return check_bmc(model, prop, eo);
+    case PortfolioMember::kItp:
+      return check_itp(model, prop, eo);
+    case PortfolioMember::kItpPartitioned: {
+      EngineOptions e = eo;
+      e.itp_partitioned = true;
+      return check_itp(model, prop, e);
+    }
+    case PortfolioMember::kItpSeq:
+      return check_itpseq(model, prop, eo);
+    case PortfolioMember::kSItpSeq:
+      return check_sitpseq(model, prop, eo);
+    case PortfolioMember::kItpSeqCba:
+      return check_itpseq_cba(model, prop, eo);
+    case PortfolioMember::kKInduction:
+      return check_kinduction(model, prop, eo);
+    case PortfolioMember::kPdr:
+      return check_pdr(model, prop, eo);
+  }
+  return {};
+}
+
 }  // namespace
 
 EngineResult check_random_sim(const aig::Aig& model, std::size_t prop,
                               unsigned depth, unsigned rounds,
-                              std::uint64_t seed) {
+                              std::uint64_t seed,
+                              const std::atomic<bool>* cancel,
+                              double time_limit_sec) {
   auto t0 = std::chrono::steady_clock::now();
+  auto give_up = [&] {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed))
+      return true;
+    if (time_limit_sec < 0) return false;
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+               .count() >= time_limit_sec;
+  };
   EngineResult out;
   out.engine = "RANDOM-SIM";
   out.verdict = Verdict::kUnknown;
@@ -72,6 +129,9 @@ EngineResult check_random_sim(const aig::Aig& model, std::size_t prop,
   };
 
   for (unsigned round = 0; round < rounds; ++round) {
+    // Cancellation/time truncate the sweep but never permute it, so the
+    // first counterexample found is a fixed function of the seed.
+    if (give_up()) break;
     // Initial latch words.
     std::vector<std::uint64_t> init_words(model.num_latches());
     for (std::size_t i = 0; i < model.num_latches(); ++i) {
@@ -151,59 +211,147 @@ EngineResult check_portfolio(const aig::Aig& model, std::size_t prop,
   EngineResult last;
   last.engine = "portfolio";
   last.verdict = Verdict::kUnknown;
+  if (opts.members.empty()) return last;
 
-  double slice = opts.slice_seconds;
-  while (elapsed() < opts.time_limit_sec) {
-    for (PortfolioMember m : opts.members) {
-      double budget = std::min(slice, opts.time_limit_sec - elapsed());
-      if (budget <= 0) break;
-      EngineOptions eo = opts.engine_defaults;
-      eo.time_limit_sec = budget;
-      EngineResult r;
-      switch (m) {
-        case PortfolioMember::kRandomSim:
-          r = check_random_sim(model, prop,
-                               /*depth=*/64,
-                               /*rounds=*/static_cast<unsigned>(8 * slice) + 1);
-          break;
-        case PortfolioMember::kBmc:
-          r = check_bmc(model, prop, eo);
-          break;
-        case PortfolioMember::kItp:
-          r = check_itp(model, prop, eo);
-          break;
-        case PortfolioMember::kItpPartitioned:
-          eo.itp_partitioned = true;
-          r = check_itp(model, prop, eo);
-          break;
-        case PortfolioMember::kItpSeq:
-          r = check_itpseq(model, prop, eo);
-          break;
-        case PortfolioMember::kSItpSeq:
-          r = check_sitpseq(model, prop, eo);
-          break;
-        case PortfolioMember::kItpSeqCba:
-          r = check_itpseq_cba(model, prop, eo);
-          break;
-        case PortfolioMember::kKInduction:
-          r = check_kinduction(model, prop, eo);
-          break;
-        case PortfolioMember::kPdr:
-          r = check_pdr(model, prop, eo);
-          break;
-      }
-      if (r.verdict != Verdict::kUnknown) {
-        r.engine = std::string("portfolio/") + to_string(m);
-        r.seconds = elapsed();
-        return r;
-      }
-      last = r;
+  LemmaExchange hub(model.num_latches());
+  LemmaExchange* hubp = opts.exchange ? &hub : nullptr;
+  auto finalize = [&](EngineResult r) {
+    r.seconds = elapsed();
+    if (hubp != nullptr) {
+      LemmaExchangeStats hs = hub.stats();
+      r.stats.lemmas_published = hs.published;
+      r.stats.lemmas_consumed = hs.fetched;
     }
-    slice *= 2.0;
+    return r;
+  };
+  auto member_options = [&](std::size_t slot, double budget) {
+    EngineOptions eo = opts.engine_defaults;
+    eo.time_limit_sec = budget;
+    eo.exchange = hubp;
+    eo.exchange_source = static_cast<std::uint8_t>((slot % 250) + 1);
+    return eo;
+  };
+  std::atomic<bool>* external = opts.engine_defaults.cancel;
+
+  unsigned jobs = opts.jobs;
+  if (jobs == 0) {
+    // One thread per member by default.  Members are pure CPU burners, so
+    // even on fewer cores racing + early cancellation beats time slicing
+    // (the OS preempts; the fastest member still finishes early and cancels
+    // the rest) — only very long member lists are capped to the hardware.
+    unsigned hw = std::thread::hardware_concurrency();
+    jobs = static_cast<unsigned>(
+        std::min<std::size_t>(opts.members.size(), std::max(hw, 8u)));
+  }
+  jobs = static_cast<unsigned>(
+      std::min<std::size_t>(jobs, opts.members.size()));
+
+  if (jobs <= 1) {
+    // Sequential round-robin scheduler (deterministic cross-check mode).
+    // Lemmas survive the slice boundaries through the hub, so later slices
+    // restart engines with everything earlier slices learned.  Each slice
+    // gets a fresh publisher slot: a restarted member must see its own
+    // previous slice's lemmas as foreign, or it could never re-seed itself.
+    double slice = opts.slice_seconds;
+    std::size_t slot = 0;
+    unsigned round = 0;
+    while (elapsed() < opts.time_limit_sec) {
+      for (std::size_t i = 0; i < opts.members.size(); ++i) {
+        if (external != nullptr && external->load(std::memory_order_relaxed)) {
+          last.engine = "portfolio";  // no winner: don't leak a member name
+          return finalize(std::move(last));
+        }
+        double budget = std::min(slice, opts.time_limit_sec - elapsed());
+        if (budget <= 0) break;
+        // Later rounds re-run the sweep *extended* (same prefix first), so
+        // random-sim coverage still grows with the budget deterministically.
+        unsigned sim_rounds = kSimSweepRounds << std::min(round, 10u);
+        EngineResult r = run_member(model, prop, opts.members[i],
+                                    member_options(slot++, budget),
+                                    opts.sim_seed, sim_rounds);
+        if (r.verdict != Verdict::kUnknown) {
+          r.engine = std::string("portfolio/") + to_string(opts.members[i]);
+          return finalize(std::move(r));
+        }
+        last = std::move(r);
+      }
+      slice *= 2.0;
+      ++round;
+    }
+    last.engine = "portfolio";
+    return finalize(std::move(last));
+  }
+
+  // Threaded scheduler: a pool of `jobs` workers drains the member queue;
+  // the first definite verdict flips the shared cancellation token and
+  // every peer winds down cooperatively.  All threads are joined before
+  // returning (engines never detach work — see engine.hpp).
+  std::atomic<bool> cancel{false};
+  std::atomic<std::size_t> next{0};
+  std::mutex mu;
+  int winner = -1;
+  EngineResult win;
+  auto worker = [&] {
+    while (!cancel.load(std::memory_order_relaxed)) {
+      std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= opts.members.size()) break;
+      double remaining = opts.time_limit_sec - elapsed();
+      if (remaining <= 0) break;
+      // Fair share when the pool is narrower than the member list: the
+      // queue behind this member must still get its turn, so cap the
+      // budget at this member's share of the pool's remaining capacity.
+      // With jobs >= members the share is >= remaining (no cap) — every
+      // member simply runs with the full remaining budget.
+      std::size_t queued = opts.members.size() - i;
+      double budget =
+          std::min(remaining, remaining * jobs / static_cast<double>(queued));
+      EngineOptions eo = member_options(i, budget);
+      eo.cancel = &cancel;
+      if (opts.active_probe != nullptr) opts.active_probe->fetch_add(1);
+      EngineResult r = run_member(model, prop, opts.members[i], eo,
+                                  opts.sim_seed, kSimSweepRounds);
+      if (opts.active_probe != nullptr) opts.active_probe->fetch_sub(1);
+      std::lock_guard<std::mutex> lock(mu);
+      if (r.verdict != Verdict::kUnknown) {
+        if (winner < 0) {
+          winner = static_cast<int>(i);
+          win = std::move(r);
+          cancel.store(true, std::memory_order_relaxed);
+        }
+      } else {
+        last = std::move(r);
+      }
+    }
+  };
+
+  // Relay an external cancellation token into the pool's internal one.
+  std::atomic<bool> done{false};
+  std::thread monitor;
+  if (external != nullptr)
+    monitor = std::thread([&] {
+      while (!done.load(std::memory_order_relaxed)) {
+        if (external->load(std::memory_order_relaxed)) {
+          cancel.store(true, std::memory_order_relaxed);
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    });
+
+  std::vector<std::thread> pool;
+  pool.reserve(jobs);
+  for (unsigned j = 0; j < jobs; ++j) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  done.store(true, std::memory_order_relaxed);
+  if (monitor.joinable()) monitor.join();
+
+  if (winner >= 0) {
+    win.engine = std::string("portfolio/") +
+                 to_string(opts.members[static_cast<std::size_t>(winner)]);
+    return finalize(std::move(win));
   }
   last.engine = "portfolio";
-  last.seconds = elapsed();
-  return last;
+  return finalize(std::move(last));
 }
 
 }  // namespace itpseq::mc

@@ -2,12 +2,51 @@
 //
 // The paper positions ITPSEQ as "an additional engine within a potential
 // portfolio of available MC techniques" (Section IV).  This engine realizes
-// that: it schedules a configurable list of member engines round-robin with
-// growing per-slice budgets until one of them produces a definite verdict.
-// Random simulation can be used as a cheap pre-pass to catch shallow
-// failures before any SAT work.
+// that with a *threaded* scheduler: member engines run concurrently on
+// std::threads, the first definite verdict wins, and all peers are torn
+// down through cooperative cancellation.
+//
+// Scheduler.  With jobs > 1 (default: one per member; lists longer than
+// max(8, hardware concurrency) are capped there), members are pulled from
+// a work queue by a pool of worker threads.  With jobs >= members each
+// member runs once with the full remaining wall-clock budget; with a
+// narrower pool each member is capped at its fair share of the pool's
+// remaining capacity (remaining * jobs / members still queued), so queued
+// members cannot be starved.  Deliberate oversubscription by default:
+// members are pure CPU burners, so even with fewer cores than members
+// racing + early cancellation beats time slicing.  With jobs == 1 the legacy single-threaded round-robin scheduler
+// is used: every member gets `slice_seconds`, doubled each round, until the
+// budget is exhausted — useful as a deterministic cross-check and on
+// single-core hosts.
+//
+// Cancellation contract.  The portfolio owns one std::atomic<bool> token
+// handed to every member via EngineOptions::cancel.  Engines must *poll*
+// it (loop heads + sat::Budget::cancel) and return kUnknown promptly; they
+// never detach work.  check_portfolio() therefore joins every worker
+// before returning — no engine thread outlives the call.  An external
+// token in engine_defaults.cancel is relayed to the internal one, so a
+// caller can cancel the whole portfolio.
+//
+// Lemma exchange.  Unless disabled, members share a LemmaExchange hub
+// (EngineOptions::exchange): PDR publishes propagated frame clauses and
+// proven-invariant clauses, the interpolation engines publish candidate
+// latch clauses of their interpolants, and every subscriber injects
+// foreign lemmas only at the safe points documented in
+// mc/lemma_exchange.hpp — exchange accelerates members but can never
+// change a verdict.  The returned result carries the hub totals in
+// stats.lemmas_published / stats.lemmas_consumed.
+//
+// Determinism.  For a fixed sim_seed the random-simulation member explores
+// one fixed trace enumeration of a fixed size under *both* schedulers
+// (independent of wall-clock and thread interleaving), and every SAT
+// member is deterministic in isolation, so the portfolio *verdict* is
+// independent of `jobs` whenever the budget suffices; budget truncation
+// can only degrade a definite verdict to UNKNOWN, never flip PASS/FAIL.
+// On closed circuits (forced traces) the reported counterexample is
+// jobs-independent too.
 #pragma once
 
+#include <atomic>
 #include <vector>
 
 #include "mc/engine.hpp"
@@ -30,15 +69,29 @@ enum class PortfolioMember : std::uint8_t {
 const char* to_string(PortfolioMember m);
 
 struct PortfolioOptions {
-  /// Schedule, in order; each round every member gets `slice_seconds`,
-  /// doubled each round, until `time_limit_sec` is exhausted.
+  /// Member list.  Threaded mode starts them in order as worker slots free
+  /// up; sequential mode time-slices them round-robin in order.
   std::vector<PortfolioMember> members = {
       PortfolioMember::kRandomSim, PortfolioMember::kItp,
       PortfolioMember::kPdr, PortfolioMember::kSItpSeq,
       PortfolioMember::kItpSeqCba};
+  /// Worker threads: 0 = one per member (lists longer than max(8, hardware
+  /// concurrency) are capped there), 1 = sequential round-robin scheduler,
+  /// N = pool of N threads.
+  unsigned jobs = 0;
+  /// Cross-engine lemma exchange between members (see header comment).
+  bool exchange = true;
+  /// Seed of the random-simulation member; fixes its trace enumeration so
+  /// verdicts are reproducible regardless of jobs/interleaving.
+  std::uint64_t sim_seed = 1;
+  /// Sequential mode only: first-round slice, doubled each round.
   double slice_seconds = 1.0;
   double time_limit_sec = 60.0;
   EngineOptions engine_defaults;
+  /// Test instrumentation: incremented when a member starts, decremented
+  /// when it returns.  After check_portfolio() returns it reads 0 — the
+  /// join-all guarantee made observable.
+  std::atomic<int>* active_probe = nullptr;
 };
 
 /// Run the portfolio; the winning member's name is recorded in
@@ -48,9 +101,13 @@ EngineResult check_portfolio(const aig::Aig& model, std::size_t prop,
 
 /// Pure random-simulation falsifier: simulates `rounds` batches of 64
 /// random input sequences of length `depth`; FAIL with a replayable trace
-/// or UNKNOWN (never PASS).
+/// or UNKNOWN (never PASS).  The enumeration order depends only on `seed`,
+/// so the outcome is deterministic; `cancel` and `time_limit_sec` only
+/// truncate the sweep (returning UNKNOWN early).
 EngineResult check_random_sim(const aig::Aig& model, std::size_t prop,
                               unsigned depth, unsigned rounds,
-                              std::uint64_t seed = 1);
+                              std::uint64_t seed = 1,
+                              const std::atomic<bool>* cancel = nullptr,
+                              double time_limit_sec = -1.0);
 
 }  // namespace itpseq::mc

@@ -1,6 +1,7 @@
 // result.hpp — common result/option types for model-checking engines.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -10,6 +11,8 @@
 #include "itp/interpolate.hpp"
 
 namespace itpseq::mc {
+
+class LemmaExchange;  // mc/lemma_exchange.hpp
 
 /// A PASS certificate: `root` is a predicate over `graph`, whose input i
 /// stands for model latch i.  The set R it denotes satisfies the four
@@ -79,6 +82,19 @@ struct EngineOptions {
   bool fraig_interpolants = false;
   /// Conflict budget per fraig equivalence check.
   std::int64_t fraig_conflicts = 200;
+  /// Cooperative cancellation token (non-owning; may be null).  The
+  /// contract every engine implements: *poll* the flag at loop heads and
+  /// inside SAT calls (via sat::Budget::cancel) and return kUnknown
+  /// promptly once it is set.  Engines never detach work — when run() has
+  /// returned, no engine-owned computation is still executing, which is
+  /// what lets the portfolio join all member threads after a winner.
+  std::atomic<bool>* cancel = nullptr;
+  /// Cross-engine lemma-exchange hub (non-owning; may be null).  Engines
+  /// publish/consume at documented safe points only; the soundness rules
+  /// per lemma grade live in mc/lemma_exchange.hpp.
+  LemmaExchange* exchange = nullptr;
+  /// Publisher slot recorded on published lemmas (attribution in stats).
+  std::uint8_t exchange_source = 0;
 };
 
 /// Aggregate statistics engines expose for the benchmark tables.
@@ -90,6 +106,8 @@ struct EngineStats {
   std::size_t state_aig_nodes = 0;     // final state-set AIG size
   unsigned cba_visible_latches = 0;    // CBA only: final abstraction size
   unsigned cba_refinements = 0;        // CBA only
+  std::uint64_t lemmas_published = 0;  // lemmas this engine gave the hub
+  std::uint64_t lemmas_consumed = 0;   // foreign lemmas this engine used
 };
 
 struct EngineResult {

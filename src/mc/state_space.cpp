@@ -31,7 +31,8 @@ aig::Lit StateSpace::init_pred(const std::vector<bool>& visible) {
   return sets_.make_and_many(conj);
 }
 
-Implication StateSpace::implies(aig::Lit a, aig::Lit b, double time_limit_sec) {
+Implication StateSpace::implies(aig::Lit a, aig::Lit b, double time_limit_sec,
+                                const std::atomic<bool>* cancel) {
   // Constant short-circuits (also avoids encoding constants).
   if (a == aig::kFalse || b == aig::kTrue || a == b) return Implication::kHolds;
   ++sat_calls_;
@@ -46,6 +47,7 @@ Implication StateSpace::implies(aig::Lit a, aig::Lit b, double time_limit_sec) {
   if (b != aig::kFalse) solver.add_clause({sat::neg(enc.encode(b, 0))}, 0);
   sat::Budget budget;
   budget.seconds = time_limit_sec;
+  budget.cancel = cancel;
   switch (solver.solve(budget)) {
     case sat::Status::kUnsat:
       return Implication::kHolds;
@@ -66,7 +68,8 @@ void StateSpace::compact(std::vector<aig::Lit*> roots) {
   for (std::size_t i = 0; i < roots.size(); ++i) *roots[i] = c.roots[i];
 }
 
-Implication StateSpace::satisfiable(aig::Lit a, double time_limit_sec) {
+Implication StateSpace::satisfiable(aig::Lit a, double time_limit_sec,
+                                    const std::atomic<bool>* cancel) {
   if (a == aig::kTrue) return Implication::kHolds;
   if (a == aig::kFalse) return Implication::kFails;
   ++sat_calls_;
@@ -79,6 +82,7 @@ Implication StateSpace::satisfiable(aig::Lit a, double time_limit_sec) {
   solver.add_clause({enc.encode(a, 0)}, 0);
   sat::Budget budget;
   budget.seconds = time_limit_sec;
+  budget.cancel = cancel;
   switch (solver.solve(budget)) {
     case sat::Status::kSat:
       return Implication::kHolds;

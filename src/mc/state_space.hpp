@@ -34,11 +34,14 @@ class StateSpace {
   aig::Lit init_pred(const std::vector<bool>& visible = {});
 
   /// SAT containment check: does `a` imply `b` over the state space?
-  /// (i.e. is a AND NOT b unsatisfiable?)
-  Implication implies(aig::Lit a, aig::Lit b, double time_limit_sec);
+  /// (i.e. is a AND NOT b unsatisfiable?)  `cancel` (optional) aborts the
+  /// underlying SAT call cooperatively with kUnknown.
+  Implication implies(aig::Lit a, aig::Lit b, double time_limit_sec,
+                      const std::atomic<bool>* cancel = nullptr);
 
   /// Is the predicate satisfiable at all?
-  Implication satisfiable(aig::Lit a, double time_limit_sec);
+  Implication satisfiable(aig::Lit a, double time_limit_sec,
+                          const std::atomic<bool>* cancel = nullptr);
 
   /// Garbage-collect the state-set AIG: rebuild it keeping only the cones
   /// of `roots`, which are remapped in place.  All other literals into the

@@ -491,12 +491,16 @@ Status Solver::solve_assuming(const std::vector<Lit>& assumptions,
   failed_.clear();
   backtrack(0);  // a previous kUnknown may have left the search mid-tree
   auto start = std::chrono::steady_clock::now();
+  auto cancelled = [&] {
+    return budget.cancel != nullptr &&
+           budget.cancel->load(std::memory_order_relaxed);
+  };
   auto out_of_time = [&] {
+    if (cancelled()) return true;
     if (budget.seconds < 0) return false;
     return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
                .count() > budget.seconds;
   };
-
   if (!ok_) {
     if (proof_ && !proof_->complete() && root_conflict_ != kNoCRef) {
       // Flush pending units so reasons exist, then finalize.
@@ -504,6 +508,11 @@ Status Solver::solve_assuming(const std::vector<Lit>& assumptions,
       analyze_final(root_conflict_);
     }
     return Status::kUnsat;
+  }
+  if (budget.seconds == 0.0 || cancelled()) {
+    // An exhausted wall-clock budget (or a cancelled run): do not start the
+    // search at all.
+    return Status::kUnknown;
   }
 
   std::int64_t conflict_limit = budget.conflicts;
@@ -563,7 +572,7 @@ Status Solver::solve_assuming(const std::vector<Lit>& assumptions,
         backtrack(0);
         return Status::kUnknown;
       }
-      if ((stats_.conflicts & 255) == 0 && out_of_time()) {
+      if (cancelled() || ((stats_.conflicts & 255) == 0 && out_of_time())) {
         backtrack(0);
         return Status::kUnknown;
       }

@@ -16,6 +16,7 @@
 // simple and is how the original interpolation papers operate.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -26,9 +27,15 @@
 namespace itpseq::sat {
 
 /// Resource limits for one solve() call.  Negative means unlimited.
+/// `cancel` is a cooperative cancellation token (non-owning): when the
+/// pointed-to flag becomes true the solver abandons the search at the next
+/// poll point and returns kUnknown.  It is polled on every conflict and
+/// periodically between decisions, so cancellation latency is bounded by a
+/// short burst of propagation, not by the time/conflict budget.
 struct Budget {
   std::int64_t conflicts = -1;
   double seconds = -1.0;
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// Solver statistics, exposed for benchmarks and engine diagnostics.

@@ -10,6 +10,7 @@
 
 #include "bdd/reach.hpp"
 #include "bench_circuits/suite.hpp"
+#include "mc/certify.hpp"
 #include "mc/engine.hpp"
 #include "mc/kinduction.hpp"
 #include "mc/portfolio.hpp"
@@ -132,6 +133,55 @@ TEST(CrossCheck, WitnessMinimizePipeline) {
   }
   EXPECT_GE(exercised, 4u);
 }
+
+class AllEnginesRandomTest : public ::testing::TestWithParam<int> {};
+
+// Randomized generated circuits under fixed seeds: every definite-verdict
+// engine (including PDR and the threaded portfolio) must agree, every FAIL
+// trace must replay in the concrete simulator, and every PASS certificate
+// must pass the independent checker.
+TEST_P(AllEnginesRandomTest, EnginesAgreeTracesReplayCertificatesCheck) {
+  aig::Aig g = random_circuit(9000 + GetParam());
+  mc::EngineOptions opts;
+  opts.time_limit_sec = 15.0;
+  opts.max_bound = 120;
+
+  struct Named {
+    const char* name;
+    mc::EngineResult r;
+  };
+  mc::PortfolioOptions popts;
+  popts.time_limit_sec = 15.0;
+  Named results[] = {
+      {"bmc", mc::check_bmc(g, 0, opts)},
+      {"itp", mc::check_itp(g, 0, opts)},
+      {"itpseq", mc::check_itpseq(g, 0, opts)},
+      {"sitpseq", mc::check_sitpseq(g, 0, opts)},
+      {"cba", mc::check_itpseq_cba(g, 0, opts)},
+      {"kind", mc::check_kinduction(g, 0, opts)},
+      {"pdr", mc::check_pdr(g, 0, opts)},
+      {"portfolio", mc::check_portfolio(g, 0, popts)},
+  };
+  const Named* reference = nullptr;
+  for (const Named& n : results) {
+    if (n.r.verdict == mc::Verdict::kUnknown) continue;
+    if (reference == nullptr) reference = &n;
+    EXPECT_EQ(n.r.verdict, reference->r.verdict)
+        << n.name << " vs " << reference->name;
+    if (n.r.verdict == mc::Verdict::kFail) {
+      // Every definite-FAIL engine here is contracted to produce a
+      // replayable witness — an empty trace is itself a bug.
+      ASSERT_FALSE(n.r.cex.inputs.empty()) << n.name << ": FAIL, no witness";
+      EXPECT_TRUE(mc::trace_is_cex(g, n.r.cex, 0)) << n.name;
+    }
+    if (n.r.verdict == mc::Verdict::kPass && n.r.certificate.has_value()) {
+      mc::CertifyResult c = mc::check_certificate(g, 0, *n.r.certificate);
+      EXPECT_TRUE(c.ok) << n.name << ": " << c.error;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, AllEnginesRandomTest, ::testing::Range(0, 25));
 
 TEST(CrossCheck, PortfolioAgreesWithBddOnRandomCircuits) {
   for (int seed = 100; seed < 115; ++seed) {

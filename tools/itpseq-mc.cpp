@@ -53,6 +53,10 @@ void usage(const char* argv0) {
                "      --dynamic     dynamic serialization (overrides --alpha)\n"
                "      --fraig       SAT-sweep interpolants before storing them\n"
                "      --incremental incremental BMC solver (bmc engine only)\n"
+               "  -j, --jobs N      portfolio worker threads (0 = auto,\n"
+               "                    1 = sequential round-robin scheduler)\n"
+               "      --no-exchange disable cross-engine lemma exchange\n"
+               "                    (portfolio engine only)\n"
                "  -w, --witness F   write a FAIL witness to file F ('-' = stdout)\n"
                "      --no-minimize do not minimize counterexample traces\n"
                "      --validate    replay the counterexample before reporting\n"
@@ -83,6 +87,8 @@ struct Args {
   bool certify = false;
   std::string invariant_file;
   bool quiet = false;
+  unsigned jobs = 0;        // portfolio: 0 = auto, 1 = sequential
+  bool exchange = true;     // portfolio: cross-engine lemma exchange
   mc::EngineOptions opts;
 };
 
@@ -141,6 +147,11 @@ bool parse_args(int argc, char** argv, Args& a) {
       a.opts.fraig_interpolants = true;
     } else if (s == "--incremental") {
       a.opts.bmc_incremental = true;
+    } else if (s == "-j" || s == "--jobs") {
+      if (!(v = need(i))) return false;
+      a.jobs = static_cast<unsigned>(std::stoul(v));
+    } else if (s == "--no-exchange") {
+      a.exchange = false;
     } else if (s == "-w" || s == "--witness") {
       if (!(v = need(i))) return false;
       a.witness_file = v;
@@ -194,6 +205,8 @@ mc::EngineResult dispatch(const Args& a, const aig::Aig& g) {
   if (e == "portfolio") {
     mc::PortfolioOptions po;
     po.time_limit_sec = a.timeout;
+    po.jobs = a.jobs;
+    po.exchange = a.exchange;
     po.engine_defaults = o;
     return mc::check_portfolio(g, a.property, po);
   }
@@ -304,6 +317,10 @@ int main(int argc, char** argv) {
     if (r.stats.cba_visible_latches > 0)
       std::printf("c abstraction: visible=%u refinements=%u\n",
                   r.stats.cba_visible_latches, r.stats.cba_refinements);
+    if (r.stats.lemmas_published > 0 || r.stats.lemmas_consumed > 0)
+      std::printf("c exchange: published=%llu consumed=%llu\n",
+                  static_cast<unsigned long long>(r.stats.lemmas_published),
+                  static_cast<unsigned long long>(r.stats.lemmas_consumed));
   }
   std::printf("s %s\n", mc::to_string(r.verdict));
 
