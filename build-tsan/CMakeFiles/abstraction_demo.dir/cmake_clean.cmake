@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abstraction_demo.dir/examples/abstraction_demo.cpp.o"
+  "CMakeFiles/abstraction_demo.dir/examples/abstraction_demo.cpp.o.d"
+  "abstraction_demo"
+  "abstraction_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abstraction_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

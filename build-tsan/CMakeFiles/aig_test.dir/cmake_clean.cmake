@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aig_test.dir/tests/aig_test.cpp.o"
+  "CMakeFiles/aig_test.dir/tests/aig_test.cpp.o.d"
+  "aig_test"
+  "aig_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aig_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

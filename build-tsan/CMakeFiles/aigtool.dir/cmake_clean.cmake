@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aigtool.dir/tools/aigtool.cpp.o"
+  "CMakeFiles/aigtool.dir/tools/aigtool.cpp.o.d"
+  "aigtool"
+  "aigtool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aigtool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cba.dir/bench/bench_ablation_cba.cpp.o"
+  "CMakeFiles/bench_ablation_cba.dir/bench/bench_ablation_cba.cpp.o.d"
+  "bench_ablation_cba"
+  "bench_ablation_cba.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cba.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

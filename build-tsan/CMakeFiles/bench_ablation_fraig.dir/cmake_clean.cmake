@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fraig.dir/bench/bench_ablation_fraig.cpp.o"
+  "CMakeFiles/bench_ablation_fraig.dir/bench/bench_ablation_fraig.cpp.o.d"
+  "bench_ablation_fraig"
+  "bench_ablation_fraig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fraig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

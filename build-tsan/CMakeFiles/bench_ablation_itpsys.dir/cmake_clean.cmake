@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_itpsys.dir/bench/bench_ablation_itpsys.cpp.o"
+  "CMakeFiles/bench_ablation_itpsys.dir/bench/bench_ablation_itpsys.cpp.o.d"
+  "bench_ablation_itpsys"
+  "bench_ablation_itpsys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_itpsys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_partitioned.dir/bench/bench_ablation_partitioned.cpp.o"
+  "CMakeFiles/bench_ablation_partitioned.dir/bench/bench_ablation_partitioned.cpp.o.d"
+  "bench_ablation_partitioned"
+  "bench_ablation_partitioned.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_partitioned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pba.dir/bench/bench_ablation_pba.cpp.o"
+  "CMakeFiles/bench_ablation_pba.dir/bench/bench_ablation_pba.cpp.o.d"
+  "bench_ablation_pba"
+  "bench_ablation_pba.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pba.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

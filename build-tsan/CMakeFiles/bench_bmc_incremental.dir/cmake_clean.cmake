@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bmc_incremental.dir/bench/bench_bmc_incremental.cpp.o"
+  "CMakeFiles/bench_bmc_incremental.dir/bench/bench_bmc_incremental.cpp.o.d"
+  "bench_bmc_incremental"
+  "bench_bmc_incremental.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bmc_incremental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

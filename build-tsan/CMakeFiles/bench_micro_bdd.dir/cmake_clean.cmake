@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_bdd.dir/bench/bench_micro_bdd.cpp.o"
+  "CMakeFiles/bench_micro_bdd.dir/bench/bench_micro_bdd.cpp.o.d"
+  "bench_micro_bdd"
+  "bench_micro_bdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_bdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

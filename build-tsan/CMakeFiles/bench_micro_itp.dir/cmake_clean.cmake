@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_itp.dir/bench/bench_micro_itp.cpp.o"
+  "CMakeFiles/bench_micro_itp.dir/bench/bench_micro_itp.cpp.o.d"
+  "bench_micro_itp"
+  "bench_micro_itp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_itp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

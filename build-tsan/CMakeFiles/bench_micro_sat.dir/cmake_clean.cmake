@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_sat.dir/bench/bench_micro_sat.cpp.o"
+  "CMakeFiles/bench_micro_sat.dir/bench/bench_micro_sat.cpp.o.d"
+  "bench_micro_sat"
+  "bench_micro_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

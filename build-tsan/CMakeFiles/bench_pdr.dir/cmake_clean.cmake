@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pdr.dir/bench/bench_pdr.cpp.o"
+  "CMakeFiles/bench_pdr.dir/bench/bench_pdr.cpp.o.d"
+  "bench_pdr"
+  "bench_pdr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pdr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_portfolio.dir/bench/bench_portfolio.cpp.o"
+  "CMakeFiles/bench_portfolio.dir/bench/bench_portfolio.cpp.o.d"
+  "bench_portfolio"
+  "bench_portfolio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_portfolio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

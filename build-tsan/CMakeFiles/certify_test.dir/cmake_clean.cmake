@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/certify_test.dir/tests/certify_test.cpp.o"
+  "CMakeFiles/certify_test.dir/tests/certify_test.cpp.o.d"
+  "certify_test"
+  "certify_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/certify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diameter_explorer.dir/examples/diameter_explorer.cpp.o"
+  "CMakeFiles/diameter_explorer.dir/examples/diameter_explorer.cpp.o.d"
+  "diameter_explorer"
+  "diameter_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diameter_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

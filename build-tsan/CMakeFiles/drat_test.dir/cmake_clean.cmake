@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drat_test.dir/tests/drat_test.cpp.o"
+  "CMakeFiles/drat_test.dir/tests/drat_test.cpp.o.d"
+  "drat_test"
+  "drat_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

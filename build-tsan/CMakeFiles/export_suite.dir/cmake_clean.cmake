@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_suite.dir/examples/export_suite.cpp.o"
+  "CMakeFiles/export_suite.dir/examples/export_suite.cpp.o.d"
+  "export_suite"
+  "export_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

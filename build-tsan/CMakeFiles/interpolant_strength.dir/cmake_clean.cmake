@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interpolant_strength.dir/examples/interpolant_strength.cpp.o"
+  "CMakeFiles/interpolant_strength.dir/examples/interpolant_strength.cpp.o.d"
+  "interpolant_strength"
+  "interpolant_strength.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interpolant_strength.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itp_systems_test.dir/tests/itp_systems_test.cpp.o"
+  "CMakeFiles/itp_systems_test.dir/tests/itp_systems_test.cpp.o.d"
+  "itp_systems_test"
+  "itp_systems_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itp_systems_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

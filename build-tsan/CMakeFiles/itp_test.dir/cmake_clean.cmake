@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itp_test.dir/tests/itp_test.cpp.o"
+  "CMakeFiles/itp_test.dir/tests/itp_test.cpp.o.d"
+  "itp_test"
+  "itp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itpseq-mc.dir/tools/itpseq-mc.cpp.o"
+  "CMakeFiles/itpseq-mc.dir/tools/itpseq-mc.cpp.o.d"
+  "itpseq-mc"
+  "itpseq-mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itpseq-mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

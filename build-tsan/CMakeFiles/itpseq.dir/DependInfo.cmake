@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aig/aig.cpp" "CMakeFiles/itpseq.dir/src/aig/aig.cpp.o" "gcc" "CMakeFiles/itpseq.dir/src/aig/aig.cpp.o.d"
+  "/root/repo/src/aig/aiger_io.cpp" "CMakeFiles/itpseq.dir/src/aig/aiger_io.cpp.o" "gcc" "CMakeFiles/itpseq.dir/src/aig/aiger_io.cpp.o.d"
+  "/root/repo/src/aig/compact.cpp" "CMakeFiles/itpseq.dir/src/aig/compact.cpp.o" "gcc" "CMakeFiles/itpseq.dir/src/aig/compact.cpp.o.d"
+  "/root/repo/src/bdd/bdd.cpp" "CMakeFiles/itpseq.dir/src/bdd/bdd.cpp.o" "gcc" "CMakeFiles/itpseq.dir/src/bdd/bdd.cpp.o.d"
+  "/root/repo/src/bdd/reach.cpp" "CMakeFiles/itpseq.dir/src/bdd/reach.cpp.o" "gcc" "CMakeFiles/itpseq.dir/src/bdd/reach.cpp.o.d"
+  "/root/repo/src/bdd/reorder.cpp" "CMakeFiles/itpseq.dir/src/bdd/reorder.cpp.o" "gcc" "CMakeFiles/itpseq.dir/src/bdd/reorder.cpp.o.d"
+  "/root/repo/src/bench_circuits/generators.cpp" "CMakeFiles/itpseq.dir/src/bench_circuits/generators.cpp.o" "gcc" "CMakeFiles/itpseq.dir/src/bench_circuits/generators.cpp.o.d"
+  "/root/repo/src/bench_circuits/suite.cpp" "CMakeFiles/itpseq.dir/src/bench_circuits/suite.cpp.o" "gcc" "CMakeFiles/itpseq.dir/src/bench_circuits/suite.cpp.o.d"
+  "/root/repo/src/cnf/tseitin.cpp" "CMakeFiles/itpseq.dir/src/cnf/tseitin.cpp.o" "gcc" "CMakeFiles/itpseq.dir/src/cnf/tseitin.cpp.o.d"
+  "/root/repo/src/cnf/unroller.cpp" "CMakeFiles/itpseq.dir/src/cnf/unroller.cpp.o" "gcc" "CMakeFiles/itpseq.dir/src/cnf/unroller.cpp.o.d"
+  "/root/repo/src/io/blif.cpp" "CMakeFiles/itpseq.dir/src/io/blif.cpp.o" "gcc" "CMakeFiles/itpseq.dir/src/io/blif.cpp.o.d"
+  "/root/repo/src/itp/interpolate.cpp" "CMakeFiles/itpseq.dir/src/itp/interpolate.cpp.o" "gcc" "CMakeFiles/itpseq.dir/src/itp/interpolate.cpp.o.d"
+  "/root/repo/src/itp/validate.cpp" "CMakeFiles/itpseq.dir/src/itp/validate.cpp.o" "gcc" "CMakeFiles/itpseq.dir/src/itp/validate.cpp.o.d"
+  "/root/repo/src/mc/bmc.cpp" "CMakeFiles/itpseq.dir/src/mc/bmc.cpp.o" "gcc" "CMakeFiles/itpseq.dir/src/mc/bmc.cpp.o.d"
+  "/root/repo/src/mc/certify.cpp" "CMakeFiles/itpseq.dir/src/mc/certify.cpp.o" "gcc" "CMakeFiles/itpseq.dir/src/mc/certify.cpp.o.d"
+  "/root/repo/src/mc/engine.cpp" "CMakeFiles/itpseq.dir/src/mc/engine.cpp.o" "gcc" "CMakeFiles/itpseq.dir/src/mc/engine.cpp.o.d"
+  "/root/repo/src/mc/factory.cpp" "CMakeFiles/itpseq.dir/src/mc/factory.cpp.o" "gcc" "CMakeFiles/itpseq.dir/src/mc/factory.cpp.o.d"
+  "/root/repo/src/mc/itp_verif.cpp" "CMakeFiles/itpseq.dir/src/mc/itp_verif.cpp.o" "gcc" "CMakeFiles/itpseq.dir/src/mc/itp_verif.cpp.o.d"
+  "/root/repo/src/mc/itpseq_verif.cpp" "CMakeFiles/itpseq.dir/src/mc/itpseq_verif.cpp.o" "gcc" "CMakeFiles/itpseq.dir/src/mc/itpseq_verif.cpp.o.d"
+  "/root/repo/src/mc/kinduction.cpp" "CMakeFiles/itpseq.dir/src/mc/kinduction.cpp.o" "gcc" "CMakeFiles/itpseq.dir/src/mc/kinduction.cpp.o.d"
+  "/root/repo/src/mc/lemma_exchange.cpp" "CMakeFiles/itpseq.dir/src/mc/lemma_exchange.cpp.o" "gcc" "CMakeFiles/itpseq.dir/src/mc/lemma_exchange.cpp.o.d"
+  "/root/repo/src/mc/pdr.cpp" "CMakeFiles/itpseq.dir/src/mc/pdr.cpp.o" "gcc" "CMakeFiles/itpseq.dir/src/mc/pdr.cpp.o.d"
+  "/root/repo/src/mc/portfolio.cpp" "CMakeFiles/itpseq.dir/src/mc/portfolio.cpp.o" "gcc" "CMakeFiles/itpseq.dir/src/mc/portfolio.cpp.o.d"
+  "/root/repo/src/mc/sim.cpp" "CMakeFiles/itpseq.dir/src/mc/sim.cpp.o" "gcc" "CMakeFiles/itpseq.dir/src/mc/sim.cpp.o.d"
+  "/root/repo/src/mc/state_space.cpp" "CMakeFiles/itpseq.dir/src/mc/state_space.cpp.o" "gcc" "CMakeFiles/itpseq.dir/src/mc/state_space.cpp.o.d"
+  "/root/repo/src/mc/trace_min.cpp" "CMakeFiles/itpseq.dir/src/mc/trace_min.cpp.o" "gcc" "CMakeFiles/itpseq.dir/src/mc/trace_min.cpp.o.d"
+  "/root/repo/src/mc/witness.cpp" "CMakeFiles/itpseq.dir/src/mc/witness.cpp.o" "gcc" "CMakeFiles/itpseq.dir/src/mc/witness.cpp.o.d"
+  "/root/repo/src/opt/balance.cpp" "CMakeFiles/itpseq.dir/src/opt/balance.cpp.o" "gcc" "CMakeFiles/itpseq.dir/src/opt/balance.cpp.o.d"
+  "/root/repo/src/opt/fraig.cpp" "CMakeFiles/itpseq.dir/src/opt/fraig.cpp.o" "gcc" "CMakeFiles/itpseq.dir/src/opt/fraig.cpp.o.d"
+  "/root/repo/src/opt/refactor.cpp" "CMakeFiles/itpseq.dir/src/opt/refactor.cpp.o" "gcc" "CMakeFiles/itpseq.dir/src/opt/refactor.cpp.o.d"
+  "/root/repo/src/opt/rewrite.cpp" "CMakeFiles/itpseq.dir/src/opt/rewrite.cpp.o" "gcc" "CMakeFiles/itpseq.dir/src/opt/rewrite.cpp.o.d"
+  "/root/repo/src/opt/simulate.cpp" "CMakeFiles/itpseq.dir/src/opt/simulate.cpp.o" "gcc" "CMakeFiles/itpseq.dir/src/opt/simulate.cpp.o.d"
+  "/root/repo/src/sat/dimacs.cpp" "CMakeFiles/itpseq.dir/src/sat/dimacs.cpp.o" "gcc" "CMakeFiles/itpseq.dir/src/sat/dimacs.cpp.o.d"
+  "/root/repo/src/sat/drat.cpp" "CMakeFiles/itpseq.dir/src/sat/drat.cpp.o" "gcc" "CMakeFiles/itpseq.dir/src/sat/drat.cpp.o.d"
+  "/root/repo/src/sat/preprocess.cpp" "CMakeFiles/itpseq.dir/src/sat/preprocess.cpp.o" "gcc" "CMakeFiles/itpseq.dir/src/sat/preprocess.cpp.o.d"
+  "/root/repo/src/sat/proof.cpp" "CMakeFiles/itpseq.dir/src/sat/proof.cpp.o" "gcc" "CMakeFiles/itpseq.dir/src/sat/proof.cpp.o.d"
+  "/root/repo/src/sat/proof_check.cpp" "CMakeFiles/itpseq.dir/src/sat/proof_check.cpp.o" "gcc" "CMakeFiles/itpseq.dir/src/sat/proof_check.cpp.o.d"
+  "/root/repo/src/sat/solver.cpp" "CMakeFiles/itpseq.dir/src/sat/solver.cpp.o" "gcc" "CMakeFiles/itpseq.dir/src/sat/solver.cpp.o.d"
+  "/root/repo/src/sat/tracecheck.cpp" "CMakeFiles/itpseq.dir/src/sat/tracecheck.cpp.o" "gcc" "CMakeFiles/itpseq.dir/src/sat/tracecheck.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

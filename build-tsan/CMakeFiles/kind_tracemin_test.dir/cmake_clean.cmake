@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kind_tracemin_test.dir/tests/kind_tracemin_test.cpp.o"
+  "CMakeFiles/kind_tracemin_test.dir/tests/kind_tracemin_test.cpp.o.d"
+  "kind_tracemin_test"
+  "kind_tracemin_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kind_tracemin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

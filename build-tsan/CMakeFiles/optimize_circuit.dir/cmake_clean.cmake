@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimize_circuit.dir/examples/optimize_circuit.cpp.o"
+  "CMakeFiles/optimize_circuit.dir/examples/optimize_circuit.cpp.o.d"
+  "optimize_circuit"
+  "optimize_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimize_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

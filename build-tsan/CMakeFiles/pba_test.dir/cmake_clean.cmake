@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pba_test.dir/tests/pba_test.cpp.o"
+  "CMakeFiles/pba_test.dir/tests/pba_test.cpp.o.d"
+  "pba_test"
+  "pba_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pba_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdr_test.dir/tests/pdr_test.cpp.o"
+  "CMakeFiles/pdr_test.dir/tests/pdr_test.cpp.o.d"
+  "pdr_test"
+  "pdr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/portfolio_demo.dir/examples/portfolio_demo.cpp.o"
+  "CMakeFiles/portfolio_demo.dir/examples/portfolio_demo.cpp.o.d"
+  "portfolio_demo"
+  "portfolio_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/portfolio_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

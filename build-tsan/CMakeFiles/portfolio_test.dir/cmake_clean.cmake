@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/portfolio_test.dir/tests/portfolio_test.cpp.o"
+  "CMakeFiles/portfolio_test.dir/tests/portfolio_test.cpp.o.d"
+  "portfolio_test"
+  "portfolio_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/portfolio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preprocess_test.dir/tests/preprocess_test.cpp.o"
+  "CMakeFiles/preprocess_test.dir/tests/preprocess_test.cpp.o.d"
+  "preprocess_test"
+  "preprocess_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preprocess_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refactor_test.dir/tests/refactor_test.cpp.o"
+  "CMakeFiles/refactor_test.dir/tests/refactor_test.cpp.o.d"
+  "refactor_test"
+  "refactor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refactor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

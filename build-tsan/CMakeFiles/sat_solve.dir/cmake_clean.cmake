@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sat_solve.dir/examples/sat_solve.cpp.o"
+  "CMakeFiles/sat_solve.dir/examples/sat_solve.cpp.o.d"
+  "sat_solve"
+  "sat_solve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sat_solve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sequence_walkthrough.dir/examples/sequence_walkthrough.cpp.o"
+  "CMakeFiles/sequence_walkthrough.dir/examples/sequence_walkthrough.cpp.o.d"
+  "sequence_walkthrough"
+  "sequence_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sequence_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

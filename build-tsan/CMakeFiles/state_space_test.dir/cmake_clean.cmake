@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/state_space_test.dir/tests/state_space_test.cpp.o"
+  "CMakeFiles/state_space_test.dir/tests/state_space_test.cpp.o.d"
+  "state_space_test"
+  "state_space_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/state_space_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_aiger.dir/examples/verify_aiger.cpp.o"
+  "CMakeFiles/verify_aiger.dir/examples/verify_aiger.cpp.o.d"
+  "verify_aiger"
+  "verify_aiger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_aiger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
