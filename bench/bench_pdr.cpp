@@ -1,10 +1,13 @@
-// bench_pdr.cpp — PDR engine throughput over the benchmark suite.
+// bench_pdr.cpp — PDR engine throughput over the benchmark suite, with a
+// built-in ablation of the two cube-shrinking layers.
 //
-// For each instance: verdict, final frontier K, lemma count and average
-// lemma length, plus the engine's two natural rates — frames per second
-// and incremental SAT queries per second.  A summary row aggregates the
-// rates over all decided instances, which is the number to watch when
-// tuning the generalization and propagation loops.
+// Each instance runs twice: BASE disables ternary lifting and CTG
+// generalization (the drop-literal-only configuration), TUNED enables both.
+// Per instance: both verdicts (which must agree whenever both are decided),
+// SAT queries and total lemma literals for each mode, the lift ratio
+// (ternary-dropped literals / literals the syntactic lift would have kept)
+// and CTG counters.  The summary aggregates queries/s and the two shrink
+// totals — the numbers to watch when tuning the generalization loops.
 //
 // Usage: bench_pdr [per_instance_seconds] [family_filter]
 #include <cstdio>
@@ -16,47 +19,113 @@
 
 using namespace itpseq;
 
+namespace {
+
+struct ModeTotals {
+  double sec = 0.0;
+  std::uint64_t queries = 0, lemmas = 0, lemma_literals = 0, frames = 0;
+  unsigned decided = 0, unknown = 0;
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
   double limit = argc > 1 ? std::atof(argv[1]) : 5.0;
   std::string filter = argc > 2 ? argv[2] : "";
 
-  mc::EngineOptions opts;
-  opts.time_limit_sec = limit;
-  opts.max_bound = 10000;
+  mc::EngineOptions base;
+  base.time_limit_sec = limit;
+  base.max_bound = 10000;
+  base.pdr_lift = false;
+  base.pdr_ctg = false;
+  mc::EngineOptions tuned = base;
+  tuned.pdr_lift = true;
+  tuned.pdr_ctg = true;
 
-  std::printf("%-18s %4s %4s | %-7s %5s %7s %6s %9s %9s\n", "instance", "#PI",
-              "#FF", "verdict", "K", "lemmas", "avglit", "frames/s",
-              "queries/s");
-  double total_sec = 0.0;
-  std::uint64_t total_frames = 0, total_queries = 0;
-  unsigned decided = 0, unknown = 0;
+  std::printf("%-18s %4s %4s | %-7s %8s %8s | %-7s %8s %8s %6s %6s\n",
+              "instance", "#PI", "#FF", "base", "queries", "lemlits", "tuned",
+              "queries", "lemlits", "lift%", "ctgs");
+  ModeTotals tb, tt;
+  std::uint64_t lift_dropped = 0, lift_kept = 0;
+  unsigned mismatches = 0;
   for (const auto& inst : bench::make_suite()) {
     if (!filter.empty() && inst.family.find(filter) == std::string::npos)
       continue;
-    mc::PdrEngine eng(inst.model, 0, opts);
-    mc::EngineResult r = eng.run();
-    const mc::PdrStats& s = eng.pdr_stats();
-    double sec = r.seconds > 1e-9 ? r.seconds : 1e-9;
-    std::printf("%-18s %4zu %4zu | %-7s %5u %7llu %6.1f %9.1f %9.1f\n",
+    mc::PdrEngine base_eng(inst.model, 0, base);
+    mc::EngineResult br = base_eng.run();
+    const mc::PdrStats& bs = base_eng.pdr_stats();
+    mc::PdrEngine tuned_eng(inst.model, 0, tuned);
+    mc::EngineResult tr = tuned_eng.run();
+    const mc::PdrStats& ts = tuned_eng.pdr_stats();
+    // Of the literals surviving the syntactic cone lift, how many did the
+    // ternary pass remove?
+    double lift_pct =
+        ts.lift_dropped + ts.lift_kept
+            ? 100.0 * static_cast<double>(ts.lift_dropped) /
+                  static_cast<double>(ts.lift_dropped + ts.lift_kept)
+            : 0.0;
+    std::printf("%-18s %4zu %4zu | %-7s %8llu %8llu | %-7s %8llu %8llu %5.1f%% %6llu\n",
                 inst.name.c_str(), inst.model.num_inputs(),
-                inst.model.num_latches(), mc::to_string(r.verdict), s.frames,
-                static_cast<unsigned long long>(s.lemmas),
-                s.lemmas ? static_cast<double>(s.lemma_literals) /
-                               static_cast<double>(s.lemmas)
-                         : 0.0,
-                s.frames / sec, s.queries / sec);
-    total_sec += r.seconds;
-    total_frames += s.frames;
-    total_queries += s.queries;
-    if (r.verdict == mc::Verdict::kUnknown)
-      ++unknown;
-    else
-      ++decided;
+                inst.model.num_latches(), mc::to_string(br.verdict),
+                static_cast<unsigned long long>(bs.queries),
+                static_cast<unsigned long long>(bs.lemma_literals),
+                mc::to_string(tr.verdict),
+                static_cast<unsigned long long>(ts.queries),
+                static_cast<unsigned long long>(ts.lemma_literals), lift_pct,
+                static_cast<unsigned long long>(ts.ctg_blocked));
+    if (br.verdict != mc::Verdict::kUnknown &&
+        tr.verdict != mc::Verdict::kUnknown && br.verdict != tr.verdict) {
+      ++mismatches;
+      std::printf("  ^^ VERDICT MISMATCH on %s\n", inst.name.c_str());
+    }
+    auto absorb = [](ModeTotals& t, const mc::EngineResult& r,
+                     const mc::PdrStats& s) {
+      t.sec += r.seconds;
+      t.queries += s.queries;
+      t.lemmas += s.lemmas;
+      t.lemma_literals += s.lemma_literals;
+      t.frames += s.frames;
+      if (r.verdict == mc::Verdict::kUnknown)
+        ++t.unknown;
+      else
+        ++t.decided;
+    };
+    absorb(tb, br, bs);
+    absorb(tt, tr, ts);
+    lift_dropped += ts.lift_dropped;
+    lift_kept += ts.lift_kept;
   }
-  if (total_sec <= 0.0) total_sec = 1e-9;
-  std::printf("\ndecided %u / unknown %u in %.2fs | overall %.1f frames/s, "
-              "%.1f queries/s\n",
-              decided, unknown, total_sec, total_frames / total_sec,
-              total_queries / total_sec);
+  if (tb.sec <= 0.0) tb.sec = 1e-9;
+  if (tt.sec <= 0.0) tt.sec = 1e-9;
+  std::printf("\nbase : decided %u / unknown %u in %.2fs | %8llu queries "
+              "(%.1f/s), %llu lemmas, %llu literals (avg %.1f)\n",
+              tb.decided, tb.unknown, tb.sec,
+              static_cast<unsigned long long>(tb.queries),
+              tb.queries / tb.sec, static_cast<unsigned long long>(tb.lemmas),
+              static_cast<unsigned long long>(tb.lemma_literals),
+              tb.lemmas ? static_cast<double>(tb.lemma_literals) /
+                              static_cast<double>(tb.lemmas)
+                        : 0.0);
+  std::printf("tuned: decided %u / unknown %u in %.2fs | %8llu queries "
+              "(%.1f/s), %llu lemmas, %llu literals (avg %.1f)\n",
+              tt.decided, tt.unknown, tt.sec,
+              static_cast<unsigned long long>(tt.queries),
+              tt.queries / tt.sec, static_cast<unsigned long long>(tt.lemmas),
+              static_cast<unsigned long long>(tt.lemma_literals),
+              tt.lemmas ? static_cast<double>(tt.lemma_literals) /
+                              static_cast<double>(tt.lemmas)
+                        : 0.0);
+  std::printf("lift : dropped %llu of %llu post-cone literals (%.1f%%)\n",
+              static_cast<unsigned long long>(lift_dropped),
+              static_cast<unsigned long long>(lift_dropped + lift_kept),
+              lift_dropped + lift_kept
+                  ? 100.0 * static_cast<double>(lift_dropped) /
+                        static_cast<double>(lift_dropped + lift_kept)
+                  : 0.0);
+  if (mismatches != 0) {
+    std::printf("\n%u VERDICT MISMATCH(ES) — lifting/CTG must not change "
+                "verdicts\n", mismatches);
+    return 1;
+  }
   return 0;
 }

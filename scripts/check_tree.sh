@@ -1,0 +1,31 @@
+#!/bin/sh
+# check_tree.sh — tree-hygiene guard, run as a ctest.
+#
+# Fails when build artifacts (build*/ trees, ctest's Testing/ directory)
+# are tracked in the git index, which once bloated every clone with 716
+# object files.  Passes silently when git (or a work tree) is unavailable,
+# e.g. in an exported source tarball.
+set -u
+
+repo_root=$(dirname "$0")/..
+cd "$repo_root" || exit 1
+
+if ! command -v git > /dev/null 2>&1; then
+  echo "check_tree: git not available, skipping"
+  exit 0
+fi
+if ! git rev-parse --is-inside-work-tree > /dev/null 2>&1; then
+  echo "check_tree: not a git work tree, skipping"
+  exit 0
+fi
+
+tracked=$(git ls-files | grep -E '^(build[^/]*|Testing)/' || true)
+if [ -n "$tracked" ]; then
+  count=$(printf '%s\n' "$tracked" | wc -l)
+  echo "check_tree: $count build artifact(s) tracked in git:"
+  printf '%s\n' "$tracked" | head -20
+  echo "check_tree: run 'git rm -r --cached <paths>' and keep them ignored"
+  exit 1
+fi
+echo "check_tree: no tracked build artifacts"
+exit 0

@@ -21,10 +21,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 #include <queue>
 #include <tuple>
 
 #include "mc/lemma_exchange.hpp"
+#include "mc/ternary.hpp"
 
 namespace itpseq::mc {
 namespace {
@@ -177,6 +179,18 @@ class PdrContext {
     }
     bad_roots_ = constraint_roots_;
     bad_roots_.push_back(model_.output(prop_));
+
+    // Ternary lifting simulator: built once over the union cone of every
+    // root any query can watch (all next-state functions, the bad output,
+    // the constraints at both frames); per-query root sets are subsets.
+    if (opts_.pdr_lift) {
+      std::vector<aig::Lit> all_roots = bad_roots_;
+      all_roots.insert(all_roots.end(), constraint_next_roots_.begin(),
+                       constraint_next_roots_.end());
+      for (std::size_t i = 0; i < model_.num_latches(); ++i)
+        all_roots.push_back(model_.latch_next(i));
+      tsim_.emplace(model_, all_roots);
+    }
   }
 
   // --- small helpers -------------------------------------------------------
@@ -262,8 +276,9 @@ class PdrContext {
       sat::Lit l = unr_.lookup(model_.input(i), 0);
       if (l != sat::kNoLit) p.inputs[i] = model_true(l);
     }
-    // Lift: latches outside the combinational support of `roots` cannot
-    // influence the successor values / bad / constraints, so drop them.
+    // Syntactic lift: latches outside the combinational support of `roots`
+    // cannot influence the successor values / bad / constraints, so drop
+    // them outright.
     std::vector<char> keep(model_.num_latches(), 0);
     for (aig::Var v : model_.cone(roots)) {
       std::size_t li = model_.latch_index(v);
@@ -272,6 +287,25 @@ class PdrContext {
     p.cube.clear();
     for (std::size_t i = 0; i < model_.num_latches(); ++i)
       if (keep[i]) p.cube.push_back(mk_cl(i, p.latches[i]));
+    // Semantic lift: greedily X out support latches whose ternary
+    // re-simulation still leaves every root at its model value (tern_and is
+    // monotone, so a root that stays defined stays *equal*).  The remaining
+    // cube, together with the recorded inputs, still forces the roots —
+    // exactly the contract obligation replay and lemma learning rely on.
+    if (tsim_.has_value() && !p.cube.empty()) {
+      tsim_->set_watches(roots);
+      tsim_->assign(p.latches, p.inputs);
+      Cube lifted;
+      lifted.reserve(p.cube.size());
+      for (CubeLit l : p.cube) {
+        if (tsim_->try_latch_x(cl_index(l)))
+          ++stats_.lift_dropped;
+        else
+          lifted.push_back(l);
+      }
+      stats_.lift_kept += lifted.size();
+      p.cube = std::move(lifted);
+    }
     if (!p.in_init) restore_init_disjoint_concrete(p.cube, p.latches);
   }
 
@@ -378,10 +412,85 @@ class PdrContext {
     solver_.add_clause(std::move(cls), 0);
   }
 
+  /// Plain down step: one consecution query; on UNSAT shrink `g` to the
+  /// failed-assumption core (kept init-disjoint and never emptied — an
+  /// empty cube's clause is FALSE, which no frame may learn).
+  bool down(Cube& g, unsigned lvl) {
+    Cube core;
+    sat::Status st = consecution(lvl, g, &core, nullptr);
+    if (st != sat::Status::kUnsat) return false;
+    restore_init_disjoint(core, g);
+    if (!core.empty()) g = std::move(core);
+    return true;
+  }
+
+  /// ctgDown (Hassan/Bradley/Somenzi FMCAD'13): like down, but when the
+  /// consecution query is killed by a predecessor state m (a counterexample
+  /// to generalization), first try to block m at its own frame — m is often
+  /// unreachable, and blocking it both rescues this candidate and
+  /// strengthens the trace.  Unblockable predecessors are *joined* into the
+  /// candidate (literals m disagrees with are dropped), absorbing m into
+  /// the cube.  Bounded by opts_.pdr_max_ctgs per candidate and recursion
+  /// depth opts_.pdr_ctg_depth; every path keeps `g` init-disjoint.
+  bool ctg_down(Cube& g, unsigned lvl, unsigned depth) {
+    unsigned ctgs = 0;
+    while (true) {
+      if (out_of_time()) return false;
+      if (intersects_init(g)) return false;
+      Cube core;
+      StateModel m;
+      sat::Status st = consecution(lvl, g, &core, &m);
+      if (st == sat::Status::kUnknown) return false;
+      if (st == sat::Status::kUnsat) {
+        restore_init_disjoint(core, g);
+        if (!core.empty()) g = std::move(core);
+        return true;
+      }
+      // m: a state of F_lvl outside g with a transition into g.
+      if (lvl > 0 && ctgs < opts_.pdr_max_ctgs &&
+          depth <= opts_.pdr_ctg_depth && !m.in_init &&
+          !intersects_init(m.cube)) {
+        Cube ctg_core;
+        sat::Status cst = consecution(lvl - 1, m.cube, &ctg_core, nullptr);
+        if (cst == sat::Status::kUnknown) return false;
+        if (cst == sat::Status::kUnsat) {
+          // The CTG is unreachable at its frame: generalize and block it,
+          // then retry the candidate against the strengthened trace.
+          ++ctgs;
+          ++stats_.ctg_blocked;
+          Cube gg = generalize(m.cube, lvl - 1, ctg_core, depth + 1);
+          unsigned up = push_forward(gg, lvl - 1);
+          add_blocked(gg, up + 1);
+          continue;
+        }
+      }
+      ++stats_.ctg_abandoned;
+      // Join: keep only the literals m agrees with.  m satisfies ¬g, so at
+      // least one literal drops and the loop terminates in <= |g| joins.
+      Cube joined;
+      joined.reserve(g.size());
+      for (CubeLit l : g)
+        if (m.latches[cl_index(l)] == cl_value(l)) joined.push_back(l);
+      if (joined.empty() || joined.size() == g.size()) return false;
+      g = std::move(joined);
+      ctgs = 0;
+    }
+  }
+
   /// Inductive generalization at level lvl (consecution of `s` relative to
   /// F_lvl is known to hold with assumption core `core`): shrink to a
-  /// minimal cube that is still init-disjoint and still inducts.
-  Cube generalize(const Cube& s, unsigned lvl, const Cube& core) {
+  /// minimal cube that is still init-disjoint and still inducts, using
+  /// ctg_down when CTG handling is enabled and plain down otherwise.
+  /// `depth` tracks ctgDown recursion (1 = a real obligation cube).
+  Cube generalize(const Cube& s, unsigned lvl, const Cube& core,
+                  unsigned depth = 1) {
+    // Init-free models (every reset_[i] < 0): intersects_init() is true for
+    // *every* cube and restore_init_disjoint* cannot repair anything, so no
+    // literal ever drops here and down/ctg_down refuse all candidates.
+    // That degradation is sound because such models never create
+    // obligations in the first place — every state is initial, so any bad
+    // or predecessor state surfaces as a depth-0 / in_init counterexample
+    // before blocking starts (covered by pdr_test InitFreeModel* tests).
     Cube g = core;
     restore_init_disjoint(g, s);
     if (g.empty()) g = s;  // defensive: empty core on an init-free model
@@ -389,6 +498,7 @@ class PdrContext {
     const std::size_t max_attempts = 3 * g.size() + 8;
     std::size_t i = 0;
     while (i < g.size() && g.size() > 1 && attempts < max_attempts) {
+      if (out_of_time()) break;  // g is valid as-is
       Cube candidate = g;
       candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(i));
       if (intersects_init(candidate)) {
@@ -396,12 +506,10 @@ class PdrContext {
         continue;
       }
       ++attempts;
-      Cube sub_core;
-      sat::Status st = consecution(lvl, candidate, &sub_core, nullptr);
-      if (st == sat::Status::kUnknown) break;  // out of budget: g is valid
-      if (st == sat::Status::kUnsat) {
-        restore_init_disjoint(sub_core, candidate);
-        g = std::move(sub_core);
+      bool shrunk = opts_.pdr_ctg ? ctg_down(candidate, lvl, depth)
+                                  : down(candidate, lvl);
+      if (shrunk) {
+        g = std::move(candidate);
         i = 0;
       } else {
         ++i;
@@ -497,6 +605,12 @@ class PdrContext {
       publish(cube, LemmaGrade::kInvariant, 0);  // strength upgrade
       return Adopt::kAdopted;
     }
+    // Defensive frontier guard: setup() opens frame 1 before run() ever
+    // drains the hub, so k_ >= 1 here today — but adopt() computing
+    // `k_ - 1` on an unsigned would silently wrap to a huge frame index if
+    // a future refactor called it before the first frame exists.  Make
+    // that invariant explicit instead of latent.
+    if (k_ == 0) return Adopt::kRetry;
     if (consecution(k_ - 1, cube, nullptr, nullptr) == sat::Status::kUnsat) {
       add_blocked(cube, k_);
       ++stats_.exch_consumed;
@@ -724,6 +838,7 @@ class PdrContext {
   std::vector<aig::Lit> constraint_roots_;
   std::vector<aig::Lit> constraint_next_roots_;
   std::vector<aig::Lit> bad_roots_;
+  std::optional<TernarySim> tsim_;  // ternary lifting (opts_.pdr_lift)
   std::vector<sat::Lit> as_;  // assumption scratch
 
   aig::Lit invariant_ = aig::kTrue;

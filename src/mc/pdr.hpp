@@ -9,14 +9,28 @@
 //
 // where each F_i is a set of clauses over the latches (F_i's clause set
 // contains F_{i+1}'s).  Bad states found in F_K become *proof obligations*
-// handled depth-first through a priority queue; blocked obligations are
-// generalized by relative induction (drop-literal minimization seeded with
-// the SAT solver's failed-assumption core) and pushed to the highest frame
-// where they stay inductive.  When two adjacent frames have equal clause
-// sets the trace is a fixpoint: F_i is an inductive invariant and a PASS
-// Certificate is emitted (checkable via mc/certify.hpp).  When an
-// obligation chain reaches the initial states, the chain's recorded inputs
-// form a concrete counterexample Trace.
+// handled depth-first through a priority queue.  Two cube-shrinking layers
+// keep the obligations small:
+//
+//   * Lifting: every state pulled out of a SAT model is reduced from a
+//     full latch assignment to a short cube by ternary simulation
+//     (mc/ternary.hpp, the FMCAD'11 technique): latches are X-ed out while
+//     the query roots — bad cone / successor next-state cone / invariant
+//     constraints — retain defined values (EngineOptions::pdr_lift).
+//   * Generalization: blocked obligations are minimized by relative
+//     induction (drop-literal search seeded with the SAT solver's
+//     failed-assumption core); with EngineOptions::pdr_ctg the search runs
+//     the FMCAD'13 ctgDown algorithm, which blocks counterexample-to-
+//     generalization states at their own frames (bounded by pdr_ctg_depth
+//     and pdr_max_ctgs) and joins with unblockable predecessors, yielding
+//     markedly shorter lemmas on circuits with converging control.
+//
+// Generalized lemmas are pushed to the highest frame where they stay
+// inductive.  When two adjacent frames have equal clause sets the trace is
+// a fixpoint: F_i is an inductive invariant and a PASS Certificate is
+// emitted (checkable via mc/certify.hpp).  When an obligation chain
+// reaches the initial states, the chain's recorded inputs form a concrete
+// counterexample Trace.
 //
 // All queries run on a single incremental SAT solver holding one copy of
 // the transition relation (frame 0 -> frame 1 of a cnf::Unroller); frame
@@ -43,6 +57,10 @@ struct PdrStats {
   std::uint64_t lemmas = 0;          ///< clauses added to the frame trace
   std::uint64_t lemma_literals = 0;  ///< total literals over added lemmas
   std::uint64_t gen_dropped = 0;     ///< literals removed by generalization
+  std::uint64_t lift_dropped = 0;    ///< literals removed by ternary lifting
+  std::uint64_t lift_kept = 0;       ///< literals surviving ternary lifting
+  std::uint64_t ctg_blocked = 0;     ///< CTG states blocked at their frame
+  std::uint64_t ctg_abandoned = 0;   ///< CTG states given up on (joined)
   std::uint64_t subsumed = 0;        ///< lemmas deleted by subsumption
   std::uint64_t propagated = 0;      ///< lemmas pushed forward a frame
   std::uint64_t invariant_lemmas = 0;  ///< clauses proven inductive (F_inf)

@@ -82,6 +82,20 @@ struct EngineOptions {
   bool fraig_interpolants = false;
   /// Conflict budget per fraig equivalence check.
   std::int64_t fraig_conflicts = 200;
+  /// PDR: shrink predecessor/bad cubes by ternary-simulation lifting
+  /// (Eén/Mishchenko/Brayton FMCAD'11) instead of the syntactic
+  /// cone-of-influence lift alone.
+  bool pdr_lift = true;
+  /// PDR: CTG-aware inductive generalization (ctgDown of
+  /// Hassan/Bradley/Somenzi, "Better Generalization in IC3", FMCAD'13):
+  /// when dropping a literal fails because of a counterexample-to-
+  /// generalization state, try to block that state at its own frame.
+  bool pdr_ctg = true;
+  /// PDR: maximum ctgDown recursion depth (1 = the paper's setting; CTGs
+  /// discovered while blocking a CTG are not themselves chased further).
+  unsigned pdr_ctg_depth = 1;
+  /// PDR: CTGs blocked per candidate cube before giving up on it.
+  unsigned pdr_max_ctgs = 3;
   /// Cooperative cancellation token (non-owning; may be null).  The
   /// contract every engine implements: *poll* the flag at loop heads and
   /// inside SAT calls (via sat::Budget::cancel) and return kUnknown

@@ -1,0 +1,114 @@
+// ternary.cpp — see ternary.hpp.
+#include "mc/ternary.hpp"
+
+namespace itpseq::mc {
+
+TernarySim::TernarySim(const aig::Aig& model, const std::vector<aig::Lit>& roots)
+    : model_(model),
+      values_(model.num_vars(), TernVal::kX),
+      pos_(model.num_vars(), 0),
+      watch_(model.num_vars(), 0),
+      stamp_(model.num_vars(), 0) {
+  topo_ = model.cone(roots);
+  for (std::size_t i = 0; i < topo_.size(); ++i) {
+    pos_[topo_[i]] = static_cast<std::uint32_t>(i + 1);
+    if (model_.is_and(topo_[i])) ++cone_ands_;
+  }
+  values_[0] = TernVal::kFalse;  // the constant variable
+}
+
+void TernarySim::set_watches(const std::vector<aig::Lit>& roots) {
+  for (aig::Var v : watched_vars_) watch_[v] = 0;
+  watched_vars_.clear();
+  undef_watched_ = 0;
+  for (aig::Lit r : roots) {
+    aig::Var v = aig::lit_var(r);
+    if (v == 0) continue;  // constants are always defined
+    if (watch_[v]++ == 0) {
+      watched_vars_.push_back(v);
+      if (values_[v] == TernVal::kX) ++undef_watched_;
+    }
+  }
+}
+
+void TernarySim::set_value(aig::Var v, TernVal nv, bool trail) {
+  TernVal ov = values_[v];
+  if (ov == nv) return;
+  if (trail) {
+    trail_.emplace_back(v, ov);
+    stamp_[v] = gen_;
+  }
+  values_[v] = nv;
+  if (watch_[v] != 0) {
+    if (nv == TernVal::kX && ov != TernVal::kX) ++undef_watched_;
+    if (nv != TernVal::kX && ov == TernVal::kX) --undef_watched_;
+  }
+}
+
+void TernarySim::set_latch(std::size_t i, TernVal v) {
+  set_value(aig::lit_var(model_.latch(i)), v, false);
+}
+
+void TernarySim::set_input(std::size_t i, TernVal v) {
+  set_value(aig::lit_var(model_.input(i)), v, false);
+}
+
+void TernarySim::assign(const std::vector<bool>& latches,
+                        const std::vector<bool>& inputs) {
+  for (aig::Var v : topo_) {
+    if (model_.is_latch(v)) {
+      std::size_t li = model_.latch_index(v);
+      set_value(v, tern_of(li < latches.size() && latches[li]), false);
+    } else if (model_.is_input(v)) {
+      std::size_t ii = model_.input_index(v);
+      set_value(v, tern_of(ii < inputs.size() && inputs[ii]), false);
+    }
+  }
+  simulate();
+}
+
+void TernarySim::simulate() {
+  for (aig::Var v : topo_) {
+    if (!model_.is_and(v)) continue;
+    const aig::Node& n = model_.node(v);
+    TernVal a = value(n.fanin0);
+    TernVal b = value(n.fanin1);
+    set_value(v, tern_and(a, b), false);
+  }
+}
+
+TernVal TernarySim::value(aig::Lit l) const {
+  if (l == aig::kFalse) return TernVal::kFalse;
+  if (l == aig::kTrue) return TernVal::kTrue;
+  TernVal v = values_[aig::lit_var(l)];
+  return aig::lit_sign(l) ? tern_not(v) : v;
+}
+
+bool TernarySim::try_latch_x(std::size_t i) {
+  aig::Var v = aig::lit_var(model_.latch(i));
+  if (values_[v] == TernVal::kX) return true;  // nothing to do
+  ++gen_;
+  trail_.clear();
+  set_value(v, TernVal::kX, true);
+  if (pos_[v] != 0) {
+    // Walk the topological order after the latch, re-evaluating exactly the
+    // AND nodes with a changed fanin.  Ternary AND is monotone under
+    // leaf-to-X moves, so one forward pass reaches the fixpoint.
+    for (std::size_t p = pos_[v]; p < topo_.size(); ++p) {
+      aig::Var u = topo_[p];
+      if (!model_.is_and(u)) continue;
+      const aig::Node& n = model_.node(u);
+      aig::Var a = aig::lit_var(n.fanin0);
+      aig::Var b = aig::lit_var(n.fanin1);
+      if (stamp_[a] != gen_ && stamp_[b] != gen_) continue;
+      set_value(u, tern_and(value(n.fanin0), value(n.fanin1)), true);
+    }
+  }
+  if (undef_watched_ == 0) return true;  // commit
+  // A watched root lost its value: roll back in reverse order.
+  for (auto it = trail_.rbegin(); it != trail_.rend(); ++it)
+    set_value(it->first, it->second, false);
+  return false;
+}
+
+}  // namespace itpseq::mc

@@ -53,6 +53,13 @@ void usage(const char* argv0) {
                "      --dynamic     dynamic serialization (overrides --alpha)\n"
                "      --fraig       SAT-sweep interpolants before storing them\n"
                "      --incremental incremental BMC solver (bmc engine only)\n"
+               "      --pdr-lift[=on|off]\n"
+               "                    ternary-simulation cube lifting in PDR\n"
+               "                    (default on)\n"
+               "      --pdr-ctg[=on|off]\n"
+               "                    CTG-aware generalization in PDR (default on)\n"
+               "      --pdr-ctg-depth N\n"
+               "                    max ctgDown recursion depth (default 1)\n"
                "  -j, --jobs N      portfolio worker threads (0 = auto,\n"
                "                    1 = sequential round-robin scheduler)\n"
                "      --no-exchange disable cross-engine lemma exchange\n"
@@ -145,6 +152,17 @@ bool parse_args(int argc, char** argv, Args& a) {
       a.opts.serial_dynamic = true;
     } else if (s == "--fraig") {
       a.opts.fraig_interpolants = true;
+    } else if (s == "--pdr-lift" || s == "--pdr-lift=on") {
+      a.opts.pdr_lift = true;
+    } else if (s == "--pdr-lift=off" || s == "--no-pdr-lift") {
+      a.opts.pdr_lift = false;
+    } else if (s == "--pdr-ctg" || s == "--pdr-ctg=on") {
+      a.opts.pdr_ctg = true;
+    } else if (s == "--pdr-ctg=off" || s == "--no-pdr-ctg") {
+      a.opts.pdr_ctg = false;
+    } else if (s == "--pdr-ctg-depth") {
+      if (!(v = need(i))) return false;
+      a.opts.pdr_ctg_depth = static_cast<unsigned>(std::stoul(v));
     } else if (s == "--incremental") {
       a.opts.bmc_incremental = true;
     } else if (s == "-j" || s == "--jobs") {
