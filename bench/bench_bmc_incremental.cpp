@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
     mc::EngineOptions mono;
     mono.time_limit_sec = limit;
     mono.max_bound = 100;
+    mono.bmc_incremental = false;  // monolithic baseline (incremental is default)
     mc::EngineOptions incr = mono;
     incr.bmc_incremental = true;
 

@@ -9,12 +9,18 @@
 // and CTG counters.  The summary aggregates queries/s and the two shrink
 // totals — the numbers to watch when tuning the generalization loops.
 //
-// Usage: bench_pdr [per_instance_seconds] [family_filter]
+// A machine-readable trajectory file (BENCH_pdr.json) is written with
+// per-instance wall-clock, verdicts, query counts and the solver-side
+// counters (propagations/s, arena bytes, GC runs) for the tuned mode.
+//
+// Usage: bench_pdr [per_instance_seconds] [family_filter] [json_path]
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "bench_circuits/suite.hpp"
+#include "json_writer.hpp"
 #include "mc/pdr.hpp"
 
 using namespace itpseq;
@@ -24,7 +30,17 @@ namespace {
 struct ModeTotals {
   double sec = 0.0;
   std::uint64_t queries = 0, lemmas = 0, lemma_literals = 0, frames = 0;
+  mc::EngineStats sat;  // solver-side counters (EngineStats::operator+=)
   unsigned decided = 0, unknown = 0;
+};
+
+struct InstanceRecord {
+  std::string name;
+  std::string verdict;
+  double seconds = 0.0;
+  std::uint64_t queries = 0, lemmas = 0;
+  mc::EngineStats sat;
+  unsigned frames = 0;
 };
 
 }  // namespace
@@ -32,6 +48,7 @@ struct ModeTotals {
 int main(int argc, char** argv) {
   double limit = argc > 1 ? std::atof(argv[1]) : 5.0;
   std::string filter = argc > 2 ? argv[2] : "";
+  std::string json_path = argc > 3 ? argv[3] : "BENCH_pdr.json";
 
   mc::EngineOptions base;
   base.time_limit_sec = limit;
@@ -46,6 +63,7 @@ int main(int argc, char** argv) {
               "instance", "#PI", "#FF", "base", "queries", "lemlits", "tuned",
               "queries", "lemlits", "lift%", "ctgs");
   ModeTotals tb, tt;
+  std::vector<InstanceRecord> records;
   std::uint64_t lift_dropped = 0, lift_kept = 0;
   unsigned mismatches = 0;
   for (const auto& inst : bench::make_suite()) {
@@ -85,6 +103,7 @@ int main(int argc, char** argv) {
       t.lemmas += s.lemmas;
       t.lemma_literals += s.lemma_literals;
       t.frames += s.frames;
+      t.sat += r.stats;
       if (r.verdict == mc::Verdict::kUnknown)
         ++t.unknown;
       else
@@ -94,6 +113,16 @@ int main(int argc, char** argv) {
     absorb(tt, tr, ts);
     lift_dropped += ts.lift_dropped;
     lift_kept += ts.lift_kept;
+
+    InstanceRecord rec;
+    rec.name = inst.name;
+    rec.verdict = mc::to_string(tr.verdict);
+    rec.seconds = tr.seconds;
+    rec.queries = ts.queries;
+    rec.lemmas = ts.lemmas;
+    rec.frames = ts.frames;
+    rec.sat = tr.stats;
+    records.push_back(std::move(rec));
   }
   if (tb.sec <= 0.0) tb.sec = 1e-9;
   if (tt.sec <= 0.0) tt.sec = 1e-9;
@@ -122,6 +151,57 @@ int main(int argc, char** argv) {
                   ? 100.0 * static_cast<double>(lift_dropped) /
                         static_cast<double>(lift_dropped + lift_kept)
                   : 0.0);
+  std::printf("sat  : tuned %llu props (%.1f%% binary, %.1f/s M), "
+              "%llu gc runs, %llu KB reclaimed\n",
+              static_cast<unsigned long long>(tt.sat.sat_propagations),
+              tt.sat.sat_propagations
+                  ? 100.0 * static_cast<double>(tt.sat.sat_bin_propagations) /
+                        static_cast<double>(tt.sat.sat_propagations)
+                  : 0.0,
+              static_cast<double>(tt.sat.sat_propagations) / tt.sec / 1e6,
+              static_cast<unsigned long long>(tt.sat.sat_gc_runs),
+              static_cast<unsigned long long>(tt.sat.sat_arena_reclaimed / 1024));
+
+  bench::JsonWriter json(json_path);
+  json.begin_object();
+  json.field("bench", "pdr");
+  json.field("per_instance_seconds", limit);
+  json.begin_array("instances");
+  for (const auto& r : records) {
+    json.begin_object();
+    json.field("name", r.name);
+    json.field("verdict", r.verdict);
+    json.field("seconds", r.seconds);
+    json.field("frames", r.frames);
+    json.field("queries", r.queries);
+    json.field("lemmas", r.lemmas);
+    json.field("propagations", r.sat.sat_propagations);
+    json.field("bin_propagations", r.sat.sat_bin_propagations);
+    json.field("conflicts", r.sat.sat_conflicts);
+    json.field("gc_runs", r.sat.sat_gc_runs);
+    json.field("wasted_bytes_reclaimed", r.sat.sat_arena_reclaimed);
+    json.field("arena_bytes_peak", static_cast<std::uint64_t>(r.sat.sat_arena_peak));
+    json.end_object();
+  }
+  json.end_array();
+  json.begin_object("totals");
+  json.field("seconds", tt.sec);
+  json.field("decided", tt.decided);
+  json.field("unknown", tt.unknown);
+  json.field("queries", tt.queries);
+  json.field("lemmas", tt.lemmas);
+  json.field("propagations", tt.sat.sat_propagations);
+  json.field("bin_propagations", tt.sat.sat_bin_propagations);
+  json.field("conflicts", tt.sat.sat_conflicts);
+  json.field("gc_runs", tt.sat.sat_gc_runs);
+  json.field("wasted_bytes_reclaimed", tt.sat.sat_arena_reclaimed);
+  json.end_object();
+  json.end_object();
+  if (!json.write())
+    std::fprintf(stderr, "bench_pdr: cannot write %s\n", json_path.c_str());
+  else
+    std::printf("trajectory written to %s\n", json_path.c_str());
+
   if (mismatches != 0) {
     std::printf("\n%u VERDICT MISMATCH(ES) — lifting/CTG must not change "
                 "verdicts\n", mismatches);

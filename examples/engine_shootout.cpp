@@ -2,6 +2,9 @@
 // print a per-instance comparison (a miniature of the paper's Table I),
 // with BMC and PDR columns flanking the interpolation family and the
 // threaded portfolio (all engines racing + lemma exchange) as the closer.
+// A SAT-core footer totals the solver-side work per engine: propagations
+// (and the share served by the inline binary watchers), conflicts, arena
+// GC runs and bytes reclaimed.
 //
 // Usage: engine_shootout [per_instance_seconds] [family_filter]
 #include <cstdio>
@@ -35,6 +38,10 @@ int main(int argc, char** argv) {
     return std::string(buf);
   };
 
+  const char* names[6] = {"BMC", "ITP", "ITPSEQ", "SITPSEQ", "ITPSEQCBA",
+                          "PDR"};
+  mc::EngineStats totals[6];
+
   for (auto& inst : bench::make_academic_suite()) {
     if (!filter.empty() && inst.family.find(filter) == std::string::npos)
       continue;
@@ -45,6 +52,12 @@ int main(int argc, char** argv) {
     mc::EngineResult d = mc::check_itpseq_cba(inst.model, 0, opts);
     mc::EngineResult p = mc::check_pdr(inst.model, 0, opts);
     mc::EngineResult pf = mc::check_portfolio(inst.model, 0, popts);
+    totals[0] += bm.stats;
+    totals[1] += a.stats;
+    totals[2] += b.stats;
+    totals[3] += c.stats;
+    totals[4] += d.stats;
+    totals[5] += p.stats;
     const char* pf_winner = std::strchr(pf.engine.c_str(), '/');
     pf_winner = pf_winner != nullptr ? pf_winner + 1 : "-";
     char pf_cell[80];
@@ -55,6 +68,34 @@ int main(int argc, char** argv) {
         inst.name.c_str(), inst.model.num_inputs(), inst.model.num_latches(),
         cell(bm).c_str(), cell(a).c_str(), cell(b).c_str(), cell(c).c_str(),
         cell(d).c_str(), cell(p).c_str(), pf_cell);
+  }
+
+  std::printf("\nSAT core totals (per engine, over the suite):\n");
+  std::printf("%-10s %10s %14s %6s %12s %6s %12s %10s %20s\n", "engine",
+              "calls", "props", "bin%", "conflicts", "gc", "reclaimKB",
+              "peakKB", "learned c/m/l");
+  for (int i = 0; i < 6; ++i) {
+    const mc::EngineStats& t = totals[i];
+    // Glue-tier shares of all learned clauses (histogram bucket = LBD - 1,
+    // last bucket >= 8): core <= 2, mid 3..6, local > 6.
+    const auto& h = t.sat_glue_hist;
+    std::uint64_t core = h[0] + h[1];
+    std::uint64_t mid = h[2] + h[3] + h[4] + h[5];
+    std::uint64_t local = h[6] + h[7];
+    std::printf(
+        "%-10s %10llu %14llu %5.1f%% %12llu %6llu %12llu %10zu %7llu/%5llu/%5llu\n",
+        names[i], static_cast<unsigned long long>(t.sat_calls),
+        static_cast<unsigned long long>(t.sat_propagations),
+        t.sat_propagations
+            ? 100.0 * static_cast<double>(t.sat_bin_propagations) /
+                  static_cast<double>(t.sat_propagations)
+            : 0.0,
+        static_cast<unsigned long long>(t.sat_conflicts),
+        static_cast<unsigned long long>(t.sat_gc_runs),
+        static_cast<unsigned long long>(t.sat_arena_reclaimed / 1024),
+        t.sat_arena_peak / 1024, static_cast<unsigned long long>(core),
+        static_cast<unsigned long long>(mid),
+        static_cast<unsigned long long>(local));
   }
   return 0;
 }

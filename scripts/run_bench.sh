@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# run_bench.sh — build and run the SAT-core bench suite and emit the
+# machine-readable perf-trajectory files at the repo root:
+#
+#   BENCH_sat.json  one entry per solver workload + totals: propagations/s,
+#                   conflicts/s, binary-propagation share, peak clause-store
+#                   bytes, GC activity, learned-clause tiers, wall-clock
+#   BENCH_pdr.json  PDR engine over the circuit suite: per-instance verdict,
+#                   queries, frames and the solver-side counters
+#
+# These files are committed with perf PRs so the trajectory is diffable
+# across commits.  The ctest label `perf-smoke` runs a seconds-scale slice
+# of the same drivers as a sanity check (ctest -L perf-smoke).
+#
+# Usage: scripts/run_bench.sh [build_dir] [sat_scale] [pdr_seconds]
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$root/build}"
+scale="${2:-1}"
+pdr_sec="${3:-5}"
+
+cmake -B "$build" -S "$root" > /dev/null
+cmake --build "$build" -j "$(nproc)" --target bench_sat bench_pdr > /dev/null
+
+"$build/bench_sat" "$scale" "$root/BENCH_sat.json"
+echo
+"$build/bench_pdr" "$pdr_sec" "" "$root/BENCH_pdr.json"
+echo
+echo "trajectory: $root/BENCH_sat.json, $root/BENCH_pdr.json"

@@ -27,6 +27,7 @@ void BmcEngine::execute(EngineResult& out) {
     }
     feed.poll();
     sat::Solver solver;
+    solver.set_restart_mode(opts_.sat_restarts);
     cnf::Unroller unr(model_, solver);
     unr.assert_init(0);
     for (unsigned t = 0; t < k; ++t) unr.add_transition(t, 0);
@@ -82,16 +83,27 @@ void BmcEngine::execute_incremental(EngineResult& out) {
   // exact-assume scheme the "no earlier failure" clauses become permanent
   // as the bound moves on, which encodes "first failure at depth k".
   sat::Solver solver;
+  solver.set_restart_mode(opts_.sat_restarts);
   cnf::Unroller unr(model_, solver);
   unr.assert_init(0);
   unr.assert_constraints(0, 0);
   LemmaFeed feed{opts_.exchange, opts_.exchange_source};
   std::vector<unsigned> inv_next, fr_next;  // per-lemma next frame to assert
+  // One long-lived solver: its counters are cumulative, so absorb once per
+  // exit path (a per-bound absorb would sum prefixes quadratically) and
+  // account the per-bound queries separately.
+  unsigned solves = 0;
+  auto finish = [&] {
+    if (solves == 0) return;  // timed out before the first query
+    absorb_stats(out, solver);
+    out.stats.sat_calls += solves - 1;
+  };
 
   for (unsigned k = 1; k <= opts_.max_bound; ++k) {
     out.k_fp = k;
     if (out_of_time()) {
       out.verdict = Verdict::kUnknown;
+      finish();
       return;
     }
     unr.add_transition(k - 1, 0);
@@ -125,10 +137,10 @@ void BmcEngine::execute_incremental(EngineResult& out) {
 
     auto t0 = std::chrono::steady_clock::now();
     sat::Status status = solver.solve_assuming(assumptions, sat_budget());
+    ++solves;
     per_bound_.push_back(
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count());
-    absorb_stats(out, solver);
 
     switch (status) {
       case sat::Status::kSat: {
@@ -147,6 +159,7 @@ void BmcEngine::execute_incremental(EngineResult& out) {
         out.verdict = Verdict::kFail;
         out.j_fp = 0;
         out.cex = extract_trace(solver, unr, depth);
+        finish();
         return;
       }
       case sat::Status::kUnsat:
@@ -154,15 +167,18 @@ void BmcEngine::execute_incremental(EngineResult& out) {
           // The clause set itself became unsatisfiable: no path can delay
           // the first failure this far, and shallower bounds were refuted.
           out.verdict = Verdict::kUnknown;
+          finish();
           return;
         }
         break;
       case sat::Status::kUnknown:
         out.verdict = Verdict::kUnknown;
+        finish();
         return;
     }
   }
   out.verdict = Verdict::kUnknown;
+  finish();
 }
 
 }  // namespace itpseq::mc

@@ -60,6 +60,7 @@ bool Engine::preliminary_checks(EngineResult& out) {
   }
   // Depth-0 check: S0 AND bad(V^0).
   sat::Solver solver;
+  solver.set_restart_mode(opts_.sat_restarts);
   cnf::Unroller unr(model_, solver);
   unr.assert_init(0);
   unr.assert_constraints(0, 0);
@@ -110,7 +111,16 @@ Certificate Engine::make_certificate(aig::Lit r) const {
 
 void Engine::absorb_stats(EngineResult& out, const sat::Solver& solver) const {
   ++out.stats.sat_calls;
-  out.stats.sat_conflicts += solver.stats().conflicts;
+  const sat::SolverStats& s = solver.stats();
+  out.stats.sat_conflicts += s.conflicts;
+  out.stats.sat_propagations += s.propagations;
+  out.stats.sat_bin_propagations += s.bin_propagations;
+  out.stats.sat_gc_runs += s.gc_runs;
+  out.stats.sat_arena_reclaimed += s.wasted_bytes_reclaimed;
+  out.stats.sat_arena_peak = std::max<std::size_t>(
+      out.stats.sat_arena_peak, s.peak_arena_bytes);
+  for (std::size_t i = 0; i < s.glue_hist.size(); ++i)
+    out.stats.sat_glue_hist[i] += s.glue_hist[i];
   if (solver.proof_enabled() && solver.proof().complete())
     out.stats.proof_clauses += solver.proof().core().size();
 }

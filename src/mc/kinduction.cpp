@@ -28,6 +28,7 @@ void KInductionEngine::execute(EngineResult& out) {
   // Incremental step-case solver: the uninitialized unrolling grows with k;
   // "good" constraints become permanent, targets are assumed per bound.
   sat::Solver step;
+  step.set_restart_mode(opts_.sat_restarts);
   cnf::Unroller step_unr(model_, step);
   step_unr.assert_constraints(0, 0);
 
@@ -39,11 +40,21 @@ void KInductionEngine::execute(EngineResult& out) {
   // real traces satisfy them everywhere, so PASS remains sound.
   LemmaFeed feed{opts_.exchange, opts_.exchange_source};
   std::vector<unsigned> step_next;  // per-invariant next step frame to assert
+  // The step solver is long-lived and its counters are cumulative, so it is
+  // absorbed once per exit path (a per-bound absorb would sum prefixes
+  // quadratically); the per-bound base solvers are fresh and absorb inline.
+  unsigned step_solves = 0;
+  auto finish_step = [&] {
+    if (step_solves == 0) return;
+    absorb_stats(out, step);
+    out.stats.sat_calls += step_solves - 1;
+  };
 
   for (unsigned k = 1; k <= opts_.max_bound; ++k) {
     out.k_fp = k;
     if (out_of_time()) {
       out.verdict = Verdict::kUnknown;
+      finish_step();
       return;
     }
     feed.poll();
@@ -51,6 +62,7 @@ void KInductionEngine::execute(EngineResult& out) {
     // --- base(k): counterexample of exact depth k ------------------------
     {
       sat::Solver solver;
+      solver.set_restart_mode(opts_.sat_restarts);
       cnf::Unroller unr(model_, solver);
       unr.assert_init(0);
       for (unsigned t = 0; t < k; ++t) unr.add_transition(t, 0);
@@ -66,12 +78,14 @@ void KInductionEngine::execute(EngineResult& out) {
       absorb_stats(out, solver);
       if (st == sat::Status::kUnknown) {
         out.verdict = Verdict::kUnknown;
+        finish_step();
         return;
       }
       if (st == sat::Status::kSat) {
         out.verdict = Verdict::kFail;
         out.j_fp = 0;
         out.cex = extract_trace(solver, unr, k);
+        finish_step();
         return;
       }
     }
@@ -92,9 +106,10 @@ void KInductionEngine::execute(EngineResult& out) {
 
     sat::Status st =
         step.solve_assuming({step_unr.bad_lit(k, 0, prop_)}, sat_budget());
-    absorb_stats(out, step);
+    ++step_solves;
     if (st == sat::Status::kUnknown) {
       out.verdict = Verdict::kUnknown;
+      finish_step();
       return;
     }
     if (st == sat::Status::kUnsat) {
@@ -104,14 +119,17 @@ void KInductionEngine::execute(EngineResult& out) {
         // behaviours — the property holds.
         out.verdict = Verdict::kPass;
         out.j_fp = k;
+        finish_step();
         return;
       }
       out.verdict = Verdict::kPass;
       out.j_fp = k;
+      finish_step();
       return;
     }
   }
   out.verdict = Verdict::kUnknown;
+  finish_step();
 }
 
 EngineResult check_kinduction(const aig::Aig& model, std::size_t prop,

@@ -104,6 +104,7 @@ class PdrContext {
                   std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                       std::chrono::duration<double>(time_budget_sec))),
         unr_(model, solver_) {
+    solver_.set_restart_mode(opts.sat_restarts);
     setup();
   }
 
@@ -111,7 +112,7 @@ class PdrContext {
 
   /// Valid after run() with kPass: invariant root in space_.graph().
   aig::Lit invariant() const { return invariant_; }
-  std::uint64_t solver_conflicts() const { return solver_.stats().conflicts; }
+  const sat::Solver& solver() const { return solver_; }
 
  private:
   // --- setup ---------------------------------------------------------------
@@ -874,8 +875,13 @@ void PdrEngine::execute(EngineResult& out) {
   pstats_ = PdrStats{};
   PdrContext ctx(model_, prop_, opts_, space_, pstats_, remaining());
   ctx.run(out);
-  out.stats.sat_calls += pstats_.queries;
-  out.stats.sat_conflicts += ctx.solver_conflicts();
+  // One incremental solver for the whole run: absorb its cumulative
+  // counters once, and only if a query actually ran (absorb_stats counts a
+  // call unconditionally).
+  if (pstats_.queries > 0) {
+    absorb_stats(out, ctx.solver());
+    out.stats.sat_calls += pstats_.queries - 1;
+  }
   out.stats.lemmas_published += pstats_.exch_published;
   out.stats.lemmas_consumed += pstats_.exch_consumed;
   if (out.verdict == Verdict::kPass && !out.certificate.has_value())

@@ -1,6 +1,7 @@
 // result.hpp — common result/option types for model-checking engines.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <optional>
@@ -69,8 +70,9 @@ struct EngineOptions {
   unsigned cba_refine_limit = 1000;
   /// BMC engine: keep one incremental solver across bounds (single-instance
   /// formulation in the spirit of the paper's reference [13]) instead of
-  /// re-encoding the unrolling at every k.
-  bool bmc_incremental = false;
+  /// re-encoding the unrolling at every k.  The monolithic re-encoding is
+  /// O(k^2) total work and is kept (off) as the cross-check mode.
+  bool bmc_incremental = true;
   /// Sequence engines: garbage-collect the state-set AIG between bounds
   /// once it exceeds this node count (0 = never).  Bounds the growth of the
   /// interpolant store over long runs.
@@ -96,6 +98,10 @@ struct EngineOptions {
   unsigned pdr_ctg_depth = 1;
   /// PDR: CTGs blocked per candidate cube before giving up on it.
   unsigned pdr_max_ctgs = 3;
+  /// Restart policy for every SAT solver the engine creates: Luby (the
+  /// robust default) or glue-EMA adaptive restarts (sat::RestartMode::kEma,
+  /// Glucose-style).  Never affects verdicts, only search order/speed.
+  sat::RestartMode sat_restarts = sat::RestartMode::kLuby;
   /// Cooperative cancellation token (non-owning; may be null).  The
   /// contract every engine implements: *poll* the flag at loop heads and
   /// inside SAT calls (via sat::Budget::cancel) and return kUnknown
@@ -115,6 +121,14 @@ struct EngineOptions {
 struct EngineStats {
   std::uint64_t sat_calls = 0;
   std::uint64_t sat_conflicts = 0;
+  std::uint64_t sat_propagations = 0;      // all implications derived
+  std::uint64_t sat_bin_propagations = 0;  // share from inline binary watchers
+  std::uint64_t sat_gc_runs = 0;           // clause-arena compactions
+  std::uint64_t sat_arena_reclaimed = 0;   // bytes GC gave back
+  std::size_t sat_arena_peak = 0;          // largest clause arena seen
+  /// Learned-clause glue histogram summed over all solvers (bucket
+  /// min(LBD, 8) - 1; see sat::SolverStats::glue_hist).
+  std::array<std::uint64_t, 8> sat_glue_hist{};
   std::uint64_t proof_clauses = 0;     // total core clauses over all proofs
   std::size_t max_itp_nodes = 0;       // largest interpolant AIG cone
   std::size_t state_aig_nodes = 0;     // final state-set AIG size
@@ -122,6 +136,30 @@ struct EngineStats {
   unsigned cba_refinements = 0;        // CBA only
   std::uint64_t lemmas_published = 0;  // lemmas this engine gave the hub
   std::uint64_t lemmas_consumed = 0;   // foreign lemmas this engine used
+
+  /// Cross-run aggregation for benchmark tables: counters are summed,
+  /// high-water / size fields take the maximum.  Keep this the single
+  /// place that knows every field — drivers must not hand-roll the list.
+  EngineStats& operator+=(const EngineStats& s) {
+    sat_calls += s.sat_calls;
+    sat_conflicts += s.sat_conflicts;
+    sat_propagations += s.sat_propagations;
+    sat_bin_propagations += s.sat_bin_propagations;
+    sat_gc_runs += s.sat_gc_runs;
+    sat_arena_reclaimed += s.sat_arena_reclaimed;
+    if (s.sat_arena_peak > sat_arena_peak) sat_arena_peak = s.sat_arena_peak;
+    for (std::size_t i = 0; i < sat_glue_hist.size(); ++i)
+      sat_glue_hist[i] += s.sat_glue_hist[i];
+    proof_clauses += s.proof_clauses;
+    if (s.max_itp_nodes > max_itp_nodes) max_itp_nodes = s.max_itp_nodes;
+    if (s.state_aig_nodes > state_aig_nodes) state_aig_nodes = s.state_aig_nodes;
+    if (s.cba_visible_latches > cba_visible_latches)
+      cba_visible_latches = s.cba_visible_latches;
+    cba_refinements += s.cba_refinements;
+    lemmas_published += s.lemmas_published;
+    lemmas_consumed += s.lemmas_consumed;
+    return *this;
+  }
 };
 
 struct EngineResult {

@@ -12,14 +12,22 @@ namespace {
 constexpr double kVarDecay = 0.95;
 constexpr double kClauseDecay = 0.999;
 constexpr double kRescaleLimit = 1e100;
+constexpr float kClauseRescaleLimit = 1e20f;
 constexpr std::uint32_t kRestartBase = 100;  // conflicts per Luby unit
+// EMA restart mode (Glucose-style, smoothed): restart when the short-term
+// glue average exceeds the long-term one by kEmaThreshold, but never more
+// often than every kEmaMinConflicts conflicts.
+constexpr double kEmaFastAlpha = 1.0 / 32.0;
+constexpr double kEmaSlowAlpha = 1.0 / 4096.0;
+constexpr double kEmaThreshold = 1.25;
+constexpr std::uint64_t kEmaMinConflicts = 50;
 }  // namespace
 
-Solver::Solver() = default;
+Solver::Solver() { level_stamp_.push_back(0); }  // level 0 exists up front
 Solver::~Solver() = default;
 
 void Solver::enable_proof() {
-  if (!clauses_.empty())
+  if (!arena_.empty())
     throw std::logic_error("enable_proof must precede add_clause");
   if (!proof_) proof_ = std::make_unique<Proof>();
 }
@@ -32,10 +40,27 @@ Var Solver::new_var() {
   phase_.push_back(0);
   heap_pos_.push_back(kNoPos);
   seen_.push_back(0);
+  level_stamp_.push_back(0);  // decision levels never exceed num_vars
   watches_.emplace_back();
   watches_.emplace_back();
+  bin_watches_.emplace_back();
+  bin_watches_.emplace_back();
   heap_insert(v);
   return v;
+}
+
+Solver::CRef Solver::alloc_clause(const std::vector<Lit>& lits, ClauseId id,
+                                  bool learned, std::uint32_t lbd) {
+  CRef cr = static_cast<CRef>(arena_.size());
+  arena_.push_back((static_cast<std::uint32_t>(lits.size()) << kFlagBits) |
+                   (learned ? kLearnedFlag : 0u));
+  arena_.push_back(id);
+  arena_.push_back(lbd);
+  arena_.push_back(0);  // activity = 0.0f bit pattern
+  arena_.insert(arena_.end(), lits.begin(), lits.end());
+  const std::uint64_t bytes = arena_.size() * sizeof(std::uint32_t);
+  if (bytes > stats_.peak_arena_bytes) stats_.peak_arena_bytes = bytes;
+  return cr;
 }
 
 bool Solver::add_clause(std::vector<Lit> lits, std::uint32_t label) {
@@ -72,12 +97,7 @@ bool Solver::add_clause(std::vector<Lit> lits, std::uint32_t label) {
   std::size_t num_free = 0;
   while (num_free < lits.size() && value(lits[num_free]) != LBool::kFalse) ++num_free;
 
-  CRef cr = static_cast<CRef>(clauses_.size());
-  Clause c;
-  c.lits = std::move(lits);
-  c.id = id;
-  c.learned = false;
-  clauses_.push_back(std::move(c));
+  CRef cr = alloc_clause(lits, id, /*learned=*/false, /*lbd=*/0);
 
   if (num_free == 0) {
     // All literals false at level 0: root conflict.
@@ -88,7 +108,7 @@ bool Solver::add_clause(std::vector<Lit> lits, std::uint32_t label) {
     return false;
   }
   if (num_free == 1) {
-    enqueue(clauses_[cr].lits[0], cr);
+    enqueue(lits[0], cr);
     return ok_;
   }
   attach(cr);
@@ -96,23 +116,91 @@ bool Solver::add_clause(std::vector<Lit> lits, std::uint32_t label) {
 }
 
 void Solver::attach(CRef cr) {
-  const Clause& c = clauses_[cr];
-  assert(c.lits.size() >= 2);
-  watches_[c.lits[0]].push_back(Watcher{cr, c.lits[1]});
-  watches_[c.lits[1]].push_back(Watcher{cr, c.lits[0]});
+  Cls c = cls(cr);
+  assert(c.size() >= 2);
+  if (c.size() == 2) {
+    bin_watches_[c[0]].push_back(BinWatcher{c[1], cr});
+    bin_watches_[c[1]].push_back(BinWatcher{c[0], cr});
+  } else {
+    watches_[c[0]].push_back(Watcher{cr, c[1]});
+    watches_[c[1]].push_back(Watcher{cr, c[0]});
+  }
 }
 
 void Solver::detach(CRef cr) {
-  const Clause& c = clauses_[cr];
-  for (int i = 0; i < 2; ++i) {
-    auto& wl = watches_[c.lits[i]];
-    for (std::size_t j = 0; j < wl.size(); ++j)
-      if (wl[j].cref == cr) {
-        wl[j] = wl.back();
-        wl.pop_back();
-        break;
-      }
+  Cls c = cls(cr);
+  if (c.size() == 2) {
+    for (int i = 0; i < 2; ++i) {
+      auto& bl = bin_watches_[c[i]];
+      for (std::size_t j = 0; j < bl.size(); ++j)
+        if (bl[j].cr == cr) {
+          bl[j] = bl.back();
+          bl.pop_back();
+          break;
+        }
+    }
+  } else {
+    for (int i = 0; i < 2; ++i) {
+      auto& wl = watches_[c[i]];
+      for (std::size_t j = 0; j < wl.size(); ++j)
+        if (wl[j].cref == cr) {
+          wl[j] = wl.back();
+          wl.pop_back();
+          break;
+        }
+    }
   }
+}
+
+bool Solver::locked(CRef cr) {
+  // A clause serving as a reason may not be deleted; analysis and proof
+  // finalization still need its literals and id.  Long clauses keep their
+  // implied literal at position 0 (propagate maintains this), but binary
+  // clauses are never reordered — either literal can be the implied one.
+  Cls c = cls(cr);
+  auto is_reason = [&](Lit l) {
+    return value(l) == LBool::kTrue && var_data_[var(l)].reason == cr;
+  };
+  if (is_reason(c[0])) return true;
+  return c.size() == 2 && is_reason(c[1]);
+}
+
+void Solver::delete_clause(CRef cr) {
+  Cls c = cls(cr);
+  assert(!c.deleted());
+  detach(cr);
+  c.set_deleted();
+  wasted_ += kHeaderWords + c.size();
+}
+
+std::uint32_t Solver::compute_lbd(const std::vector<Lit>& lits) {
+  ++lbd_stamp_;
+  std::uint32_t glue = 0;
+  for (Lit l : lits) {
+    std::uint32_t lvl = var_data_[var(l)].level;
+    if (level_stamp_[lvl] != lbd_stamp_) {
+      level_stamp_[lvl] = lbd_stamp_;
+      ++glue;
+    }
+  }
+  return glue;
+}
+
+void Solver::update_lbd(Cls c) {
+  // Glucose-style dynamic glue: recompute when the clause participates in
+  // conflict analysis (all its literals are assigned there) and keep the
+  // minimum ever seen — a clause can only be promoted to a better tier.
+  if (c.lbd() <= kCoreLbd) return;
+  ++lbd_stamp_;
+  std::uint32_t glue = 0;
+  for (Lit l : c) {
+    std::uint32_t lvl = var_data_[var(l)].level;
+    if (level_stamp_[lvl] != lbd_stamp_) {
+      level_stamp_[lvl] = lbd_stamp_;
+      ++glue;
+    }
+  }
+  if (glue < c.lbd()) c.set_lbd(glue);
 }
 
 void Solver::enqueue(Lit l, CRef reason) {
@@ -126,54 +214,94 @@ void Solver::enqueue(Lit l, CRef reason) {
 }
 
 Solver::CRef Solver::propagate() {
+  if (qhead_ >= trail_.size()) return kNoCRef;  // nothing queued
+  // Hot path: the arena, assignment array and each watch list are stable
+  // for the duration (enqueue only appends to trail_; replacement watches
+  // go to OTHER lists — ls[1] != false_lit by construction), so raw
+  // pointers are hoisted out of the loops where the compiler cannot prove
+  // that itself.  Stats are accumulated locally and flushed once.
+  std::uint32_t* const arena = arena_.data();
+  const LBool* const assigns = assign_.data();
+  auto val = [assigns](Lit l) { return lbool_xor(assigns[var(l)], sign(l)); };
+  std::uint64_t props = 0, bin_props = 0;
+  CRef confl = kNoCRef;
+
   while (qhead_ < trail_.size()) {
     Lit p = trail_[qhead_++];
     Lit false_lit = neg(p);  // literal that just became false
-    auto& wl = watches_[false_lit];
-    std::size_t i = 0, j = 0;
-    while (i < wl.size()) {
-      Watcher w = wl[i];
-      if (value(w.blocker) == LBool::kTrue) {
-        wl[j++] = wl[i++];
-        continue;
-      }
-      Clause& c = clauses_[w.cref];
-      auto& ls = c.lits;
-      // Make sure the false literal is at position 1.
-      if (ls[0] == false_lit) std::swap(ls[0], ls[1]);
-      assert(ls[1] == false_lit);
-      ++i;
-      // 0th watch true: clause satisfied.
-      if (value(ls[0]) == LBool::kTrue) {
-        wl[j++] = Watcher{w.cref, ls[0]};
-        continue;
-      }
-      // Look for a replacement watch.
-      bool found = false;
-      for (std::size_t k = 2; k < ls.size(); ++k) {
-        if (value(ls[k]) != LBool::kFalse) {
-          std::swap(ls[1], ls[k]);
-          watches_[ls[1]].push_back(Watcher{w.cref, ls[0]});
-          found = true;
-          break;
+
+    // Binary implications: resolved from the watcher alone, arena untouched.
+    {
+      const BinWatcher* bw = bin_watches_[false_lit].data();
+      const std::size_t bn = bin_watches_[false_lit].size();
+      for (std::size_t i = 0; i < bn; ++i) {
+        const LBool v = val(bw[i].other);
+        if (v == LBool::kTrue) continue;
+        if (v == LBool::kFalse) {
+          confl = bw[i].cr;
+          goto done;
         }
+        enqueue(bw[i].other, bw[i].cr);
+        ++props;
+        ++bin_props;
       }
-      if (found) continue;  // watcher moved away
-      // Clause is unit or conflicting.
-      wl[j++] = Watcher{w.cref, ls[0]};
-      if (value(ls[0]) == LBool::kFalse) {
-        // Conflict: copy remaining watchers and bail out.
-        while (i < wl.size()) wl[j++] = wl[i++];
-        wl.resize(j);
-        qhead_ = trail_.size();
-        return w.cref;
-      }
-      enqueue(ls[0], w.cref);
-      ++stats_.propagations;
     }
-    wl.resize(j);
+
+    {
+      auto& wl = watches_[false_lit];
+      Watcher* const ws = wl.data();
+      const std::size_t n = wl.size();
+      std::size_t i = 0, j = 0;
+      while (i < n) {
+        const Watcher w = ws[i];
+        if (val(w.blocker) == LBool::kTrue) {
+          ws[j++] = ws[i++];
+          continue;
+        }
+        std::uint32_t* const base = arena + w.cref;
+        Lit* const ls = base + kHeaderWords;
+        const std::uint32_t size = base[0] >> kFlagBits;
+        // Make sure the false literal is at position 1.
+        if (ls[0] == false_lit) std::swap(ls[0], ls[1]);
+        assert(ls[1] == false_lit);
+        ++i;
+        // 0th watch true: clause satisfied.
+        const Lit first = ls[0];
+        if (val(first) == LBool::kTrue) {
+          ws[j++] = Watcher{w.cref, first};
+          continue;
+        }
+        // Look for a replacement watch.
+        bool found = false;
+        for (std::uint32_t k = 2; k < size; ++k) {
+          if (val(ls[k]) != LBool::kFalse) {
+            std::swap(ls[1], ls[k]);
+            watches_[ls[1]].push_back(Watcher{w.cref, first});
+            found = true;
+            break;
+          }
+        }
+        if (found) continue;  // watcher moved away
+        // Clause is unit or conflicting.
+        ws[j++] = Watcher{w.cref, first};
+        if (val(first) == LBool::kFalse) {
+          // Conflict: copy remaining watchers and bail out.
+          while (i < n) ws[j++] = ws[i++];
+          wl.resize(j);
+          confl = w.cref;
+          goto done;
+        }
+        enqueue(first, w.cref);
+        ++props;
+      }
+      wl.resize(j);
+    }
   }
-  return kNoCRef;
+done:
+  if (confl != kNoCRef) qhead_ = trail_.size();
+  stats_.propagations += props;
+  stats_.bin_propagations += bin_props;
+  return confl;
 }
 
 void Solver::bump_var(Var v) {
@@ -187,11 +315,14 @@ void Solver::bump_var(Var v) {
 
 void Solver::decay_var_activity() { var_inc_ /= kVarDecay; }
 
-void Solver::bump_clause(Clause& c) {
-  c.activity += clause_inc_;
-  if (c.activity > kRescaleLimit) {
-    for (CRef cr : learned_list_) clauses_[cr].activity *= 1e-100;
-    clause_inc_ *= 1e-100;
+void Solver::bump_clause(Cls c) {
+  c.set_activity(c.activity() + static_cast<float>(clause_inc_));
+  if (c.activity() > kClauseRescaleLimit) {
+    for (CRef cr : learned_list_) {
+      Cls lc = cls(cr);
+      lc.set_activity(lc.activity() * 1e-20f);
+    }
+    clause_inc_ *= 1e-20;
   }
 }
 
@@ -211,17 +342,20 @@ void Solver::analyze(CRef conflict, std::vector<Lit>& out_learned,
   CRef cur = conflict;
 
   while (true) {
-    Clause& c = clauses_[cur];
-    if (c.learned) bump_clause(c);
+    Cls c = cls(cur);
+    if (c.learned()) {
+      bump_clause(c);
+      update_lbd(c);
+    }
     if (proof_) {
       if (p == kNoLit) {
-        out_chain.chain.push_back(c.id);
+        out_chain.chain.push_back(c.id());
       } else {
-        out_chain.chain.push_back(c.id);
+        out_chain.chain.push_back(c.id());
         out_chain.pivots.push_back(var(p));
       }
     }
-    for (Lit q : c.lits) {
+    for (Lit q : c) {
       if (p != kNoLit && q == p) continue;  // the pivot itself
       Var v = var(q);
       if (seen_[v]) continue;
@@ -293,7 +427,7 @@ void Solver::minimize_learned(std::vector<Lit>& learned, ResolutionChain& chain)
     bool removable = false;
     if (r != kNoCRef) {
       removable = true;
-      for (Lit q : clauses_[r].lits) {
+      for (Lit q : cls(r)) {
         if (var(q) == v) continue;
         if (!seen_[var(q)] && var_data_[var(q)].level != 0) {
           removable = false;
@@ -330,9 +464,9 @@ void Solver::minimize_learned(std::vector<Lit>& learned, ResolutionChain& chain)
       Var v = var(assigned);
       CRef r = var_data_[v].reason;
       assert(r != kNoCRef);
-      chain.chain.push_back(clauses_[r].id);
+      chain.chain.push_back(cls(r).id());
       chain.pivots.push_back(v);
-      for (Lit q : clauses_[r].lits) {
+      for (Lit q : cls(r)) {
         Var qv = var(q);
         if (qv == v || queued[qv]) continue;
         bool in_kept = false;
@@ -358,10 +492,10 @@ void Solver::analyze_final(CRef conflict) {
   // Derive the empty clause from a clause falsified at decision level 0.
   if (!proof_ || proof_->complete()) return;
   ResolutionChain chain;
-  chain.chain.push_back(clauses_[conflict].id);
+  chain.chain.push_back(cls(conflict).id());
   std::vector<std::uint32_t> work;
   std::vector<std::uint8_t> queued(num_vars(), 0);
-  for (Lit q : clauses_[conflict].lits) {
+  for (Lit q : cls(conflict)) {
     Var v = var(q);
     assert(var_data_[v].level == 0);
     if (!queued[v]) {
@@ -377,9 +511,9 @@ void Solver::analyze_final(CRef conflict) {
     Var v = var(trail_[pos]);
     CRef r = var_data_[v].reason;
     assert(r != kNoCRef && "level-0 assignments always have reasons");
-    chain.chain.push_back(clauses_[r].id);
+    chain.chain.push_back(cls(r).id());
     chain.pivots.push_back(v);
-    for (Lit q : clauses_[r].lits) {
+    for (Lit q : cls(r)) {
       Var qv = var(q);
       if (qv == v || queued[qv]) continue;
       queued[qv] = 1;
@@ -404,7 +538,7 @@ void Solver::analyze_assumption(Lit failed) {
     if (r == kNoCRef) {
       if (trail_[i] != failed) failed_.push_back(trail_[i]);
     } else {
-      for (Lit q : clauses_[r].lits)
+      for (Lit q : cls(r))
         if (var(q) != v) seen_[var(q)] = 1;
     }
     seen_[v] = 0;
@@ -437,33 +571,128 @@ Lit Solver::pick_branch() {
 
 void Solver::reduce_db() {
   ++stats_.db_reductions;
-  std::vector<CRef> live;
-  live.reserve(learned_list_.size());
-  for (CRef cr : learned_list_)
-    if (!clauses_[cr].deleted) live.push_back(cr);
-  std::sort(live.begin(), live.end(), [&](CRef a, CRef b) {
-    return clauses_[a].activity < clauses_[b].activity;
-  });
-  std::size_t target = live.size() / 2;
-  std::size_t removed = 0;
-  for (CRef cr : live) {
-    if (removed >= target) break;
-    Clause& c = clauses_[cr];
-    if (c.lits.size() <= 2) continue;
-    // Never delete a clause that is currently a reason ("locked").
-    Lit l0 = c.lits[0];
-    if (value(l0) == LBool::kTrue && var_data_[var(l0)].reason != kNoCRef &&
-        &clauses_[var_data_[var(l0)].reason] == &c)
-      continue;
-    detach(cr);
-    c.deleted = true;
-    c.lits.clear();
-    c.lits.shrink_to_fit();
-    ++removed;
+  // Reduction candidates: live learned clauses outside the core tier.
+  // Binary clauses are kept (their watchers are inline and dirt cheap) and
+  // reason-locked clauses must survive.
+  std::vector<CRef> cand;
+  cand.reserve(learned_list_.size());
+  for (CRef cr : learned_list_) {
+    Cls c = cls(cr);
+    if (c.deleted() || c.size() <= 2 || c.lbd() <= kCoreLbd) continue;
+    if (locked(cr)) continue;
+    cand.push_back(cr);
   }
-  learned_list_.erase(std::remove_if(learned_list_.begin(), learned_list_.end(),
-                                     [&](CRef cr) { return clauses_[cr].deleted; }),
-                      learned_list_.end());
+  // Worst first: local tier (LBD > kTier2Lbd) strictly before tier2, then
+  // higher LBD, then lower activity.  stable_sort on exact keys keeps the
+  // removal set a pure function of the search history (determinism).
+  std::stable_sort(cand.begin(), cand.end(), [&](CRef a, CRef b) {
+    Cls ca = cls(a), cb = cls(b);
+    bool local_a = ca.lbd() > kTier2Lbd, local_b = cb.lbd() > kTier2Lbd;
+    if (local_a != local_b) return local_a;
+    if (ca.lbd() != cb.lbd()) return ca.lbd() > cb.lbd();
+    return ca.activity() < cb.activity();
+  });
+  std::size_t target = cand.size() / 2;
+  for (std::size_t i = 0; i < target; ++i) delete_clause(cand[i]);
+  learned_list_.erase(
+      std::remove_if(learned_list_.begin(), learned_list_.end(),
+                     [&](CRef cr) { return cls(cr).deleted(); }),
+      learned_list_.end());
+}
+
+void Solver::maybe_simplify() {
+  // Only at decision level 0 and only when the top-level trail grew.  The
+  // sweep is O(arena), so it must be amortized; it fires when either
+  //  - enough top-level facts accumulated that the expected garbage is
+  //    worth gc_frac_ of the arena (each unit — e.g. an activation-literal
+  //    retirement — satisfies clauses; 16 words is a coarse per-unit
+  //    estimate), the trigger that keeps propagation-light incremental
+  //    sessions (PDR retiring lemmas) lean, or
+  //  - enough propagation work has passed to pay for a background sweep.
+  if (!trail_lim_.empty() || trail_.size() <= simplify_trail_) return;
+  const double growth = static_cast<double>(trail_.size() - simplify_trail_);
+  const bool by_units = growth * 16.0 >= gc_frac_ * static_cast<double>(arena_.size());
+  const bool by_props =
+      (stats_.propagations - simplify_props_) * 4 >= arena_.size();
+  if (!by_units && !by_props) return;
+  remove_satisfied();
+  simplify_trail_ = trail_.size();
+  simplify_props_ = stats_.propagations;
+}
+
+void Solver::remove_satisfied() {
+  // Physically drop clauses satisfied at decision level 0: they are
+  // satisfied in every extension, so removal preserves equivalence (same
+  // argument as the add_clause skip).  This is what reclaims clauses that
+  // incremental engines retire via activation-literal units.  Reason-locked
+  // clauses stay (proof finalization needs level-0 reasons).
+  assert(trail_lim_.empty());
+  for (CRef cr = 0; cr < static_cast<CRef>(arena_.size());) {
+    Cls c = cls(cr);
+    const std::uint32_t span = kHeaderWords + c.size();
+    if (!c.deleted() && !locked(cr)) {
+      for (Lit l : c) {
+        if (value(l) == LBool::kTrue) {
+          delete_clause(cr);
+          ++stats_.removed_satisfied;
+          break;
+        }
+      }
+    }
+    cr += span;
+  }
+  learned_list_.erase(
+      std::remove_if(learned_list_.begin(), learned_list_.end(),
+                     [&](CRef cr) { return cls(cr).deleted(); }),
+      learned_list_.end());
+  maybe_gc();
+}
+
+void Solver::maybe_gc() {
+  if (wasted_ == 0) return;
+  if (static_cast<double>(wasted_) <
+      gc_frac_ * static_cast<double>(arena_.size()))
+    return;
+  garbage_collect();
+}
+
+void Solver::garbage_collect() {
+  // Compact the arena: copy live clauses in order, leave a forwarding
+  // pointer (reloc flag + new CRef in the id slot) in the old storage, then
+  // rewrite every CRef holder.  ClauseIds move with the clause — the proof
+  // log never notices a collection.
+  std::vector<std::uint32_t> to;
+  to.reserve(arena_.size() - wasted_);
+  for (CRef cr = 0; cr < static_cast<CRef>(arena_.size());) {
+    const std::uint32_t w0 = arena_[cr];
+    const std::uint32_t span = kHeaderWords + (w0 >> kFlagBits);
+    if (!(w0 & kDeletedFlag)) {
+      const CRef ncr = static_cast<CRef>(to.size());
+      to.insert(to.end(), arena_.begin() + cr, arena_.begin() + cr + span);
+      arena_[cr] = w0 | kRelocFlag;
+      arena_[cr + 1] = ncr;  // forwarding pointer (old id copy is dead)
+    }
+    cr += span;
+  }
+  auto reloc = [&](CRef& cr) {
+    if (cr == kNoCRef) return;
+    assert((arena_[cr] & kRelocFlag) != 0 && "dangling CRef into deleted clause");
+    cr = arena_[cr + 1];
+  };
+  for (auto& wl : watches_)
+    for (Watcher& w : wl) reloc(w.cref);
+  for (auto& bl : bin_watches_)
+    for (BinWatcher& w : bl) reloc(w.cr);
+  // Only reasons of currently-assigned vars are live (stale reasons of
+  // unassigned vars must not be chased — they may point anywhere).
+  for (Lit l : trail_) reloc(var_data_[var(l)].reason);
+  for (CRef& cr : learned_list_) reloc(cr);
+  reloc(root_conflict_);
+  stats_.wasted_bytes_reclaimed +=
+      (arena_.size() - to.size()) * sizeof(std::uint32_t);
+  ++stats_.gc_runs;
+  arena_.swap(to);
+  wasted_ = 0;
 }
 
 double Solver::luby(std::uint64_t i) const {
@@ -520,10 +749,24 @@ Status Solver::solve_assuming(const std::vector<Lit>& assumptions,
   std::uint64_t conflicts_until_restart =
       static_cast<std::uint64_t>(luby(restart_count) * kRestartBase);
   std::uint64_t conflicts_this_restart = 0;
-  max_learned_ = std::max<double>(1000.0, static_cast<double>(num_input_clauses_) / 3.0);
+  // Glue EMAs for RestartMode::kEma, seeded from the first learned clause
+  // of this solve (no zero-bias warmup).
+  double glue_fast = 0.0, glue_slow = 0.0;
+  bool glue_seeded = false;
+  max_learned_ =
+      reduce_base_forced_
+          ? reduce_base_
+          : std::max<double>(reduce_base_,
+                             static_cast<double>(num_input_clauses_) / 3.0);
 
   std::vector<Lit> learned;
   ResolutionChain chain;
+
+  // Incremental entry point (level 0): fold top-level facts accumulated
+  // since the last sweep into the database — drop satisfied clauses and
+  // maybe compact the arena.  Amortized against propagation work because
+  // the sweep is O(arena).
+  maybe_simplify();
 
   while (true) {
     CRef conflict = propagate();
@@ -543,27 +786,33 @@ Status Solver::solve_assuming(const std::vector<Lit>& assumptions,
       if (proof_) id = proof_->add_learned(learned, std::move(chain));
       chain = ResolutionChain{};
 
-      if (learned.size() == 1) {
-        // Unit learned clause: store it so it can serve as a reason.
-        CRef cr = static_cast<CRef>(clauses_.size());
-        Clause c;
-        c.lits = learned;
-        c.id = id;
-        c.learned = true;
-        clauses_.push_back(std::move(c));
-        enqueue(learned[0], cr);
+      // Glue computed at learning time (post-minimization, pre-backtrack
+      // levels are still those of the conflict) drives the retention tier.
+      std::uint32_t lbd = compute_lbd(learned);
+      ++stats_.glue_hist[std::min<std::uint32_t>(lbd, 8) - 1];
+      if (lbd <= kCoreLbd)
+        ++stats_.learned_core;
+      else if (lbd <= kTier2Lbd)
+        ++stats_.learned_mid;
+      else
+        ++stats_.learned_local;
+      if (!glue_seeded) {
+        glue_fast = glue_slow = static_cast<double>(lbd);
+        glue_seeded = true;
       } else {
-        CRef cr = static_cast<CRef>(clauses_.size());
-        Clause c;
-        c.lits = learned;
-        c.id = id;
-        c.learned = true;
-        c.activity = clause_inc_;
-        clauses_.push_back(std::move(c));
+        glue_fast += kEmaFastAlpha * (static_cast<double>(lbd) - glue_fast);
+        glue_slow += kEmaSlowAlpha * (static_cast<double>(lbd) - glue_slow);
+      }
+
+      CRef cr = alloc_clause(learned, id, /*learned=*/true, lbd);
+      if (learned.size() > 1) {
+        cls(cr).set_activity(static_cast<float>(clause_inc_));
         learned_list_.push_back(cr);
         attach(cr);
-        enqueue(learned[0], cr);
       }
+      // Unit learned clauses are stored unattached so they can serve as the
+      // reason of their (permanent, level-0) assignment.
+      enqueue(learned[0], cr);
       decay_var_activity();
       decay_clause_activity();
 
@@ -572,22 +821,36 @@ Status Solver::solve_assuming(const std::vector<Lit>& assumptions,
         backtrack(0);
         return Status::kUnknown;
       }
-      if (cancelled() || ((stats_.conflicts & 255) == 0 && out_of_time())) {
+      // The cancellation token is polled on every conflict (one relaxed
+      // atomic load); the wall clock only every 64 conflicts — a syscall on
+      // the conflict path is measurable, and 64 conflicts of extra latency
+      // are well inside the budget granularity engines care about.
+      if (cancelled() || ((stats_.conflicts & 63) == 0 && out_of_time())) {
         backtrack(0);
         return Status::kUnknown;
       }
     } else {
-      if (conflicts_this_restart >= conflicts_until_restart) {
+      const bool restart_now =
+          restart_mode_ == RestartMode::kLuby
+              ? conflicts_this_restart >= conflicts_until_restart
+              : conflicts_this_restart >= kEmaMinConflicts && glue_seeded &&
+                    glue_fast > kEmaThreshold * glue_slow;
+      if (restart_now) {
         ++stats_.restarts;
         ++restart_count;
         conflicts_this_restart = 0;
         conflicts_until_restart =
             static_cast<std::uint64_t>(luby(restart_count) * kRestartBase);
+        // Forget the short-term spike that triggered the restart so the
+        // next window measures the post-restart trajectory.
+        glue_fast = glue_slow;
         backtrack(0);
+        maybe_simplify();
         continue;
       }
       if (static_cast<double>(learned_list_.size()) >= max_learned_) {
         reduce_db();
+        maybe_gc();
         max_learned_ *= 1.3;
       }
       // Assumptions are decided first, in order, one per decision level.
@@ -625,15 +888,17 @@ Status Solver::solve_assuming(const std::vector<Lit>& assumptions,
 }
 
 bool Solver::verify_model() const {
-  for (const Clause& c : clauses_) {
-    if (c.learned || c.deleted) continue;
+  for (CRef cr = 0; cr < static_cast<CRef>(arena_.size());) {
+    const Cls c = cls(cr);
+    cr += kHeaderWords + c.size();
+    if (c.learned() || c.deleted()) continue;
     bool sat = false;
-    for (Lit l : c.lits)
-      if (lbool_xor(model_[var(l)], sign(l)) == LBool::kTrue) {
+    for (std::uint32_t i = 0; i < c.size(); ++i)
+      if (lbool_xor(model_[var(c[i])], sign(c[i])) == LBool::kTrue) {
         sat = true;
         break;
       }
-    if (!sat && !c.lits.empty()) return false;
+    if (!sat && c.size() != 0) return false;
   }
   return true;
 }

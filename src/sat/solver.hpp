@@ -2,8 +2,8 @@
 //
 // A MiniSat-lineage solver: two-watched-literal propagation, first-UIP
 // conflict analysis with chain-logged clause minimization, VSIDS decision
-// heuristic with phase saving, Luby restarts and activity-based learned
-// clause database reduction.
+// heuristic with phase saving, selectable Luby or glue-EMA restarts and
+// LBD-tiered learned clause database reduction.
 //
 // The distinctive feature is *proof logging*: when enabled, every learned
 // clause records the trivial resolution chain that derives it, and an UNSAT
@@ -11,13 +11,64 @@
 // (see sat/proof.hpp).  Interpolants and interpolation sequences are then
 // extracted from this proof (itp/interpolate.hpp).
 //
-// Usage is one-shot: create, new_var/add_clause, solve().  Model-checking
-// engines build a fresh solver per query, which keeps proof bookkeeping
-// simple and is how the original interpolation papers operate.
+// Both usage styles are supported: one-shot (create, new_var/add_clause,
+// solve(); how the interpolation engines operate, proof logging on) and
+// long-lived incremental (clauses added between solve_assuming() calls;
+// how PDR and incremental BMC operate).  The storage layer below is built
+// so the incremental style stays lean over thousands of queries.
+//
+// --- Clause storage architecture -------------------------------------------
+//
+// All clauses live in ONE flat std::uint32_t arena (arena_).  A clause is a
+// packed header followed by its literals inline:
+//
+//     word 0   size << 4 | flags   (bit0 learned, bit1 deleted, bit2 reloc)
+//     word 1   ClauseId            (proof identity; kNoClauseId w/o proof)
+//     word 2   LBD                 (glue; 0 for input clauses)
+//     word 3   activity            (float bit pattern)
+//     word 4.. literals            (size words)
+//
+// A CRef is a word offset into the arena, so dereferencing a clause is one
+// add — no per-clause heap allocation, no pointer chase, and propagation
+// walks memory that is contiguous in allocation (≈ use) order.  `Cls` is a
+// transient *view* into the arena: any allocation may reallocate the arena
+// and invalidates every outstanding view (the same discipline as AIG node
+// references; see the PR 1 BddManager use-after-free).
+//
+// Binary clauses: watch lists are split.  bin_watches_[l] stores the
+// *implied literal* inline next to the CRef, so binary propagation reads
+// only the watcher vector and never touches the arena; the CRef is kept
+// solely for conflict analysis and proof chains (cold path).  Long clauses
+// use classic blocker watchers (watches_[l], scanned when l becomes false).
+//
+// Learned-clause retention is LBD-tiered (Glucose-style), activity as the
+// tiebreak:
+//   core   LBD <= 2          never deleted (glue clauses),
+//   tier2  3 <= LBD <= 6     deleted only after every local clause,
+//   local  LBD > 6           first to go; reduce_db() removes the worst
+//                            half of the reducible clauses, ordered by
+//                            (tier, LBD desc, activity asc).
+// A clause's LBD can only improve: it is recomputed when the clause is used
+// in conflict analysis and lowered if smaller (possibly promoting it to a
+// better tier).  Binary and reason-locked clauses are never deleted.
+//
+// Garbage collection: deleted clauses (reduce_db + satisfied-at-level-0
+// removal) only set a header flag and count their words as wasted;
+// garbage_collect() physically compacts the arena once wasted words exceed
+// gc_frac_ of it, rewriting every CRef holder (watches, binary watches,
+// trail reasons, learned_list_, root_conflict_) via forwarding pointers
+// left in the old arena.  GC remaps CRefs but NEVER renumbers ClauseIds —
+// proof chains, interpolation and DRAT/tracecheck output stay valid across
+// any number of collections.  This is what keeps one-solver-per-run engines
+// (PDR, incremental BMC/ITPSEQ) at a bounded footprint: clauses retired by
+// activation-literal units become satisfied at level 0, are physically
+// reclaimed, and their watcher entries disappear with them.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <vector>
 
@@ -38,15 +89,63 @@ struct Budget {
   const std::atomic<bool>* cancel = nullptr;
 };
 
+/// Restart policy for solve().
+///   kLuby  reluctant-doubling (Luby) sequence scaled by a 100-conflict
+///          base unit — robust, the historical default.
+///   kEma   Glucose-style adaptivity: restart as soon as the short-term
+///          average glue (LBD) of learned clauses drifts 25% above the
+///          long-term average, i.e. the search has left the subspace where
+///          it was learning well.  Often stronger on UNSAT-heavy
+///          incremental loads (BMC/PDR consecution queries).
+enum class RestartMode : std::uint8_t { kLuby, kEma };
+
 /// Solver statistics, exposed for benchmarks and engine diagnostics.
 struct SolverStats {
   std::uint64_t decisions = 0;
-  std::uint64_t propagations = 0;
+  std::uint64_t propagations = 0;      // all implications (incl. binary)
+  std::uint64_t bin_propagations = 0;  // implications from binary watchers
   std::uint64_t conflicts = 0;
   std::uint64_t restarts = 0;
   std::uint64_t learned_literals = 0;
   std::uint64_t minimized_literals = 0;
   std::uint64_t db_reductions = 0;
+  std::uint64_t gc_runs = 0;                 // arena compactions
+  std::uint64_t wasted_bytes_reclaimed = 0;  // total bytes GC gave back
+  std::uint64_t removed_satisfied = 0;       // level-0-satisfied clauses freed
+  std::uint64_t peak_arena_bytes = 0;        // clause-store high-water mark
+  /// Learned clauses entering each retention tier (by glue at learning
+  /// time; promotions by dynamic LBD improvement are not re-counted).
+  std::uint64_t learned_core = 0;   // LBD <= 2: immortal
+  std::uint64_t learned_mid = 0;    // 3 <= LBD <= 6: deleted last
+  std::uint64_t learned_local = 0;  // LBD > 6: first to go
+  /// Learned-clause glue histogram: bucket min(LBD, 8) - 1, i.e. the last
+  /// bucket aggregates every clause with LBD >= 8.
+  std::array<std::uint64_t, 8> glue_hist{};
+
+  /// Cross-solver aggregation for benchmark drivers: counters are summed,
+  /// the arena high-water mark takes the maximum.  Keep this the single
+  /// place that knows every field.
+  SolverStats& operator+=(const SolverStats& s) {
+    decisions += s.decisions;
+    propagations += s.propagations;
+    bin_propagations += s.bin_propagations;
+    conflicts += s.conflicts;
+    restarts += s.restarts;
+    learned_literals += s.learned_literals;
+    minimized_literals += s.minimized_literals;
+    db_reductions += s.db_reductions;
+    gc_runs += s.gc_runs;
+    wasted_bytes_reclaimed += s.wasted_bytes_reclaimed;
+    removed_satisfied += s.removed_satisfied;
+    if (s.peak_arena_bytes > peak_arena_bytes)
+      peak_arena_bytes = s.peak_arena_bytes;
+    learned_core += s.learned_core;
+    learned_mid += s.learned_mid;
+    learned_local += s.learned_local;
+    for (std::size_t i = 0; i < glue_hist.size(); ++i)
+      glue_hist[i] += s.glue_hist[i];
+    return *this;
+  }
 };
 
 class Solver {
@@ -99,23 +198,81 @@ class Solver {
 
   const SolverStats& stats() const { return stats_; }
 
+  /// Current clause-arena footprint in bytes (live + not-yet-collected).
+  std::size_t arena_bytes() const { return arena_.size() * sizeof(std::uint32_t); }
+  /// Bytes currently occupied by deleted clauses awaiting collection.
+  std::size_t wasted_bytes() const { return wasted_ * sizeof(std::uint32_t); }
+
+  /// Tuning/testing knobs.  gc_frac: collect once wasted words exceed this
+  /// fraction of the arena (default 0.25; stress tests force it near 0).
+  /// reduce_base: initial learned-clause cap (default max(1000, inputs/3);
+  /// an explicit value overrides the input-size scaling so tests can force
+  /// reduce_db() on small instances).
+  void set_gc_frac(double f) { gc_frac_ = f; }
+  void set_reduce_base(double b) {
+    reduce_base_ = b;
+    reduce_base_forced_ = true;
+  }
+
+  /// Select the restart policy (default Luby).  May be changed between
+  /// solve() calls; it never affects verdicts, only search order.
+  void set_restart_mode(RestartMode m) { restart_mode_ = m; }
+  RestartMode restart_mode() const { return restart_mode_; }
+
   /// Check that a full assignment satisfies every input clause (debugging).
   bool verify_model() const;
 
  private:
-  struct Clause {
-    std::vector<Lit> lits;
-    ClauseId id = kNoClauseId;
-    double activity = 0.0;
-    bool learned = false;
-    bool deleted = false;
-  };
   using CRef = std::uint32_t;
   static constexpr CRef kNoCRef = 0xffffffffu;
 
+  static constexpr std::uint32_t kHeaderWords = 4;
+  static constexpr std::uint32_t kLearnedFlag = 1u;
+  static constexpr std::uint32_t kDeletedFlag = 2u;
+  static constexpr std::uint32_t kRelocFlag = 4u;
+  static constexpr std::uint32_t kFlagBits = 4;  // size lives in word0 >> 4
+
+  static constexpr std::uint32_t kCoreLbd = 2;   // glue tier: immortal
+  static constexpr std::uint32_t kTier2Lbd = 6;  // mid tier: deleted last
+
+  /// Transient view of an arena clause (invalidated by any allocation).
+  struct Cls {
+    std::uint32_t* base;
+    std::uint32_t size() const { return base[0] >> kFlagBits; }
+    bool learned() const { return (base[0] & kLearnedFlag) != 0; }
+    bool deleted() const { return (base[0] & kDeletedFlag) != 0; }
+    void set_deleted() { base[0] |= kDeletedFlag; }
+    ClauseId id() const { return base[1]; }
+    std::uint32_t lbd() const { return base[2]; }
+    void set_lbd(std::uint32_t g) { base[2] = g; }
+    float activity() const {
+      float a;
+      std::memcpy(&a, &base[3], sizeof a);
+      return a;
+    }
+    void set_activity(float a) { std::memcpy(&base[3], &a, sizeof a); }
+    Lit* lits() { return base + kHeaderWords; }
+    const Lit* lits() const { return base + kHeaderWords; }
+    Lit* begin() { return lits(); }
+    Lit* end() { return lits() + size(); }
+    Lit& operator[](std::uint32_t i) { return base[kHeaderWords + i]; }
+    Lit operator[](std::uint32_t i) const { return base[kHeaderWords + i]; }
+  };
+  Cls cls(CRef cr) { return Cls{arena_.data() + cr}; }
+  const Cls cls(CRef cr) const {
+    return Cls{const_cast<std::uint32_t*>(arena_.data()) + cr};
+  }
+
+  /// Watcher for clauses of size >= 3.
   struct Watcher {
     CRef cref;
     Lit blocker;  // fast satisfied-check before touching the clause
+  };
+  /// Watcher for binary clauses: the implication is resolved entirely from
+  /// the watch list; `cr` is only read by analysis/proof code.
+  struct BinWatcher {
+    Lit other;
+    CRef cr;
   };
 
   struct VarData {
@@ -127,8 +284,14 @@ class Solver {
   LBool value(Lit l) const { return lbool_xor(assign_[var(l)], sign(l)); }
   LBool value_var(Var v) const { return assign_[v]; }
 
+  CRef alloc_clause(const std::vector<Lit>& lits, ClauseId id, bool learned,
+                    std::uint32_t lbd);
   void attach(CRef cr);
   void detach(CRef cr);
+  bool locked(CRef cr);
+  void delete_clause(CRef cr);
+  std::uint32_t compute_lbd(const std::vector<Lit>& lits);
+  void update_lbd(Cls c);
   void enqueue(Lit l, CRef reason);
   CRef propagate();
   void analyze(CRef conflict, std::vector<Lit>& out_learned, std::uint32_t& out_level,
@@ -140,9 +303,13 @@ class Solver {
   Lit pick_branch();
   void bump_var(Var v);
   void decay_var_activity();
-  void bump_clause(Clause& c);
+  void bump_clause(Cls c);
   void decay_clause_activity();
   void reduce_db();
+  void maybe_simplify();
+  void remove_satisfied();
+  void maybe_gc();
+  void garbage_collect();
   void heap_insert(Var v);
   Var heap_pop();
   void heap_up(std::size_t i);
@@ -151,9 +318,11 @@ class Solver {
   double luby(std::uint64_t i) const;
 
   // clause storage ---------------------------------------------------------
-  std::vector<Clause> clauses_;              // arena of all clauses
-  std::vector<CRef> learned_list_;           // indices of learned clauses
+  std::vector<std::uint32_t> arena_;         // flat clause arena (see header)
+  std::vector<CRef> learned_list_;           // arena refs of learned clauses
   std::size_t num_input_clauses_ = 0;
+  std::size_t wasted_ = 0;                   // deleted words awaiting GC
+  double gc_frac_ = 0.25;
 
   // assignment -------------------------------------------------------------
   std::vector<LBool> assign_;
@@ -162,10 +331,11 @@ class Solver {
   std::vector<std::uint32_t> trail_lim_;     // decision-level boundaries
   std::size_t qhead_ = 0;
 
-  // watches: watches_[lit] = clauses watching lit (i.e. containing ~lit ...
-  // MiniSat convention: watches_[l] holds clauses that watch literal l,
-  // scanned when l becomes false).
+  // watches (MiniSat convention: watches_[l] holds clauses that watch
+  // literal l, scanned when l becomes false).  Binary clauses live in their
+  // own lists with the implied literal inline.
   std::vector<std::vector<Watcher>> watches_;
+  std::vector<std::vector<BinWatcher>> bin_watches_;
 
   // heuristics -------------------------------------------------------------
   std::vector<double> activity_;
@@ -178,6 +348,8 @@ class Solver {
 
   // analysis scratch -------------------------------------------------------
   std::vector<std::uint8_t> seen_;
+  std::vector<std::uint64_t> level_stamp_;   // LBD distinct-level marking
+  std::uint64_t lbd_stamp_ = 0;
 
   // state ------------------------------------------------------------------
   bool ok_ = true;                           // false once root-level conflict found
@@ -188,6 +360,11 @@ class Solver {
   std::unique_ptr<Proof> proof_;
   SolverStats stats_;
   double max_learned_ = 0;
+  double reduce_base_ = 1000.0;
+  bool reduce_base_forced_ = false;
+  RestartMode restart_mode_ = RestartMode::kLuby;
+  std::size_t simplify_trail_ = 0;           // trail size at last remove_satisfied
+  std::uint64_t simplify_props_ = 0;         // propagation count at last sweep
 };
 
 }  // namespace itpseq::sat

@@ -73,6 +73,25 @@ TEST_F(CliTest, McFailExitCode10WithValidWitness) {
   EXPECT_NE(out.find("1\nb0\n"), std::string::npos) << out;  // witness header
 }
 
+TEST_F(CliTest, McSatRestartModesAgree) {
+  // Luby and EMA restarts must reach the same verdict (exit code).
+  for (const char* mode : {"luby", "ema"}) {
+    std::string cmd = tool("itpseq-mc") + " -q -t 30 -e pdr --sat-restarts " +
+                      std::string(mode) + " " + fail_aag_;
+    EXPECT_EQ(run(cmd), 10) << mode;
+  }
+}
+
+TEST_F(CliTest, McBmcIncrementalModesAgree) {
+  // Incremental (default) and the monolithic cross-check mode must find
+  // the same verdict through the CLI.
+  for (const char* mode : {"--incremental=on", "--incremental=off"}) {
+    std::string cmd = tool("itpseq-mc") + " -q -t 30 -e bmc " +
+                      std::string(mode) + " " + fail_aag_;
+    EXPECT_EQ(run(cmd), 10) << mode;
+  }
+}
+
 TEST_F(CliTest, McEveryEngineAgrees) {
   for (const char* e :
        {"itp", "itp-part", "itpseq", "sitpseq", "itpseq-cba", "itpseq-pba",

@@ -52,7 +52,14 @@ void usage(const char* argv0) {
                "      --alpha A     serial fraction for sitpseq (default 0.5)\n"
                "      --dynamic     dynamic serialization (overrides --alpha)\n"
                "      --fraig       SAT-sweep interpolants before storing them\n"
-               "      --incremental incremental BMC solver (bmc engine only)\n"
+               "      --sat-restarts M\n"
+               "                    luby | ema   restart policy for every\n"
+               "                    engine's SAT solvers (default luby;\n"
+               "                    ema = Glucose-style adaptive glue)\n"
+               "      --incremental[=on|off]\n"
+      "                    incremental BMC solver (bmc engine only;\n"
+      "                    default on, off = monolithic re-encoding\n"
+      "                    cross-check mode)\n"
                "      --pdr-lift[=on|off]\n"
                "                    ternary-simulation cube lifting in PDR\n"
                "                    (default on)\n"
@@ -163,8 +170,20 @@ bool parse_args(int argc, char** argv, Args& a) {
     } else if (s == "--pdr-ctg-depth") {
       if (!(v = need(i))) return false;
       a.opts.pdr_ctg_depth = static_cast<unsigned>(std::stoul(v));
-    } else if (s == "--incremental") {
+    } else if (s == "--sat-restarts") {
+      if (!(v = need(i))) return false;
+      if (!std::strcmp(v, "luby"))
+        a.opts.sat_restarts = sat::RestartMode::kLuby;
+      else if (!std::strcmp(v, "ema"))
+        a.opts.sat_restarts = sat::RestartMode::kEma;
+      else {
+        std::fprintf(stderr, "unknown restart mode '%s'\n", v);
+        return false;
+      }
+    } else if (s == "--incremental" || s == "--incremental=on") {
       a.opts.bmc_incremental = true;
+    } else if (s == "--incremental=off" || s == "--no-incremental") {
+      a.opts.bmc_incremental = false;
     } else if (s == "-j" || s == "--jobs") {
       if (!(v = need(i))) return false;
       a.jobs = static_cast<unsigned>(std::stoul(v));
