@@ -22,6 +22,7 @@
 #include "bench_circuits/suite.hpp"
 #include "json_writer.hpp"
 #include "mc/pdr.hpp"
+#include "obs/trace.hpp"
 
 using namespace itpseq;
 
@@ -46,6 +47,7 @@ struct InstanceRecord {
 }  // namespace
 
 int main(int argc, char** argv) {
+  auto sink = obs::TraceSink::from_env();  // ITPSEQ_TRACE=... opt-in
   double limit = argc > 1 ? std::atof(argv[1]) : 5.0;
   std::string filter = argc > 2 ? argv[2] : "";
   std::string json_path = argc > 3 ? argv[3] : "BENCH_pdr.json";

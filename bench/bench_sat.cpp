@@ -27,6 +27,7 @@
 #include "bench_circuits/generators.hpp"
 #include "cnf/unroller.hpp"
 #include "json_writer.hpp"
+#include "obs/trace.hpp"
 #include "sat/solver.hpp"
 #include "sat_workloads.hpp"
 
@@ -134,6 +135,9 @@ double incremental_gc_quick(sat::Solver& s, unsigned rep) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // ITPSEQ_TRACE=file [ITPSEQ_TRACE_FORMAT=chrome] [ITPSEQ_PROGRESS=1]
+  // trace a bench run without flag plumbing; null when the env is unset.
+  auto sink = obs::TraceSink::from_env();
   const bool quick = argc > 1 && std::string(argv[1]) == "quick";
   unsigned scale = argc > 1 && !quick ? static_cast<unsigned>(std::atoi(argv[1])) : 1;
   if (scale == 0) scale = 1;

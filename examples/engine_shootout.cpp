@@ -15,10 +15,12 @@
 #include "bench_circuits/suite.hpp"
 #include "mc/engine.hpp"
 #include "mc/portfolio.hpp"
+#include "obs/trace.hpp"
 
 using namespace itpseq;
 
 int main(int argc, char** argv) {
+  auto sink = obs::TraceSink::from_env();  // ITPSEQ_TRACE=... opt-in
   double limit = argc > 1 ? std::atof(argv[1]) : 5.0;
   std::string filter = argc > 2 ? argv[2] : "";
 

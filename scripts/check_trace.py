@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""check_trace.py — validate a trace file produced by the obs subsystem.
+
+Usage:
+    scripts/check_trace.py trace.jsonl [--format jsonl|chrome]
+                           [--min-engines N] [--min-events N]
+
+jsonl  (default): every line must parse as a JSON object carrying exactly
+       the schema keys {ts_us, tid, engine, kind, payload}; span events
+       must carry payload.name and payload.dur_us.
+chrome: the whole file must parse as one JSON array of trace events with
+       name/cat/ph/pid/tid/ts; "X" (complete) events must carry dur.
+
+Exits non-zero with a per-violation report; prints a one-line summary on
+success.  Stdlib only — runs anywhere CI has a python3.
+"""
+
+import argparse
+import collections
+import json
+import sys
+
+SCHEMA_KEYS = {"ts_us", "tid", "engine", "kind", "payload"}
+
+
+def check_jsonl(path, errors):
+    engines = set()
+    tids = set()
+    kinds = collections.Counter()
+    events = 0
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                ev = json.loads(line)
+            except ValueError as ex:
+                errors.append(f"{path}:{lineno}: unparseable line ({ex})")
+                continue
+            if not isinstance(ev, dict) or set(ev) != SCHEMA_KEYS:
+                errors.append(
+                    f"{path}:{lineno}: schema keys are {sorted(ev)}, "
+                    f"expected {sorted(SCHEMA_KEYS)}")
+                continue
+            if not isinstance(ev["ts_us"], int) or ev["ts_us"] < 0:
+                errors.append(f"{path}:{lineno}: bad ts_us {ev['ts_us']!r}")
+            if not isinstance(ev["tid"], int) or ev["tid"] <= 0:
+                errors.append(f"{path}:{lineno}: bad tid {ev['tid']!r}")
+            if not isinstance(ev["payload"], dict):
+                errors.append(f"{path}:{lineno}: payload is not an object")
+                continue
+            if ev["kind"] == "span":
+                for key in ("name", "dur_us"):
+                    if key not in ev["payload"]:
+                        errors.append(
+                            f"{path}:{lineno}: span payload lacks '{key}'")
+            events += 1
+            engines.add(ev["engine"])
+            tids.add(ev["tid"])
+            kinds[ev["kind"]] += 1
+    return events, engines, tids, kinds
+
+
+def check_chrome(path, errors):
+    engines = set()
+    tids = set()
+    kinds = collections.Counter()
+    try:
+        with open(path, encoding="utf-8") as f:
+            data = json.load(f)
+    except ValueError as ex:
+        errors.append(f"{path}: not valid JSON ({ex})")
+        return 0, engines, tids, kinds
+    if not isinstance(data, list):
+        errors.append(f"{path}: top level is not an array")
+        return 0, engines, tids, kinds
+    for i, ev in enumerate(data):
+        missing = {"name", "cat", "ph", "pid", "tid", "ts"} - set(ev)
+        if missing:
+            errors.append(f"{path}: event {i} lacks {sorted(missing)}")
+            continue
+        if ev["ph"] == "X" and "dur" not in ev:
+            errors.append(f"{path}: complete event {i} lacks dur")
+        engines.add(ev["cat"])
+        tids.add(ev["tid"])
+        kinds["span" if ev["ph"] == "X" else ev["name"]] += 1
+    return len(data), engines, tids, kinds
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace")
+    ap.add_argument("--format", choices=("jsonl", "chrome"), default="jsonl")
+    ap.add_argument("--min-engines", type=int, default=1,
+                    help="require events from at least N distinct engine tags"
+                         " (default 1; 'main'/'sampler' do not count)")
+    ap.add_argument("--min-events", type=int, default=1)
+    args = ap.parse_args()
+
+    errors = []
+    check = check_jsonl if args.format == "jsonl" else check_chrome
+    events, engines, tids, kinds = check(args.trace, errors)
+
+    real_engines = engines - {"main", "sampler"}
+    if events < args.min_events:
+        errors.append(f"{args.trace}: {events} events < {args.min_events}")
+    if len(real_engines) < args.min_engines:
+        errors.append(f"{args.trace}: engines {sorted(real_engines)} "
+                      f"< {args.min_engines} required")
+
+    if errors:
+        for e in errors[:50]:
+            print(e, file=sys.stderr)
+        if len(errors) > 50:
+            print(f"... and {len(errors) - 50} more", file=sys.stderr)
+        return 1
+    top = ", ".join(f"{k}={n}" for k, n in kinds.most_common(5))
+    print(f"{args.trace}: OK — {events} events, "
+          f"{len(real_engines)} engines over {len(tids)} threads ({top})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

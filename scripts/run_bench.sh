@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# run_bench.sh — build and run the SAT-core bench suite and emit the
+# run_bench.sh — build and run the SAT-core bench suite and maintain the
 # machine-readable perf-trajectory files at the repo root:
 #
 #   BENCH_sat.json  one entry per solver workload + totals: propagations/s,
@@ -8,9 +8,12 @@
 #   BENCH_pdr.json  PDR engine over the circuit suite: per-instance verdict,
 #                   queries, frames and the solver-side counters
 #
-# These files are committed with perf PRs so the trajectory is diffable
-# across commits.  The ctest label `perf-smoke` runs a seconds-scale slice
-# of the same drivers as a sanity check (ctest -L perf-smoke).
+# Each file is a *trajectory*: {"trajectory": [entry, entry, ...]}, one
+# entry appended per run, stamped with the git commit, date and host that
+# produced it — so the files diff as a history, not a single point.  Legacy
+# single-object files are migrated into a one-entry trajectory on the next
+# run.  The ctest label `perf-smoke` runs a seconds-scale slice of the same
+# drivers as a sanity check (ctest -L perf-smoke).
 #
 # Usage: scripts/run_bench.sh [build_dir] [sat_scale] [pdr_seconds]
 set -euo pipefail
@@ -23,8 +26,58 @@ pdr_sec="${3:-5}"
 cmake -B "$build" -S "$root" > /dev/null
 cmake --build "$build" -j "$(nproc)" --target bench_sat bench_pdr > /dev/null
 
-"$build/bench_sat" "$scale" "$root/BENCH_sat.json"
+commit="$(git -C "$root" rev-parse --short HEAD 2>/dev/null || echo unknown)"
+date_utc="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+host="$(hostname 2>/dev/null || echo unknown)"
+
+# Append a freshly produced bench entry ($2, a single JSON object) to the
+# trajectory file ($1), stamping it with commit/date/host.  Overwriting
+# would discard history; a legacy single-object file becomes entry 0.
+append_entry() {
+  local traj="$1" fresh="$2"
+  if command -v python3 > /dev/null 2>&1; then
+    COMMIT="$commit" DATE="$date_utc" HOST="$host" \
+      python3 - "$traj" "$fresh" << 'EOF'
+import json, os, sys
+
+traj_path, fresh_path = sys.argv[1], sys.argv[2]
+with open(fresh_path) as f:
+    entry = json.load(f)
+entry["commit"] = os.environ["COMMIT"]
+entry["date"] = os.environ["DATE"]
+entry["host"] = os.environ["HOST"]
+
+history = []
+if os.path.exists(traj_path):
+    try:
+        with open(traj_path) as f:
+            old = json.load(f)
+        if isinstance(old, dict) and isinstance(old.get("trajectory"), list):
+            history = old["trajectory"]
+        elif isinstance(old, dict):
+            old.setdefault("commit", "pre-trajectory")
+            history = [old]  # migrate a legacy single-point file
+    except (ValueError, OSError):
+        history = []  # unreadable: restart the trajectory, keep the run
+
+history.append(entry)
+with open(traj_path, "w") as f:
+    json.dump({"trajectory": history}, f, indent=1)
+    f.write("\n")
+EOF
+  else
+    # No python3: keep the single-point behaviour rather than corrupt the
+    # trajectory with shell-quoted JSON surgery.
+    echo "run_bench.sh: python3 not found; writing $traj as a single point" >&2
+    cp "$fresh" "$traj"
+  fi
+  rm -f "$fresh"
+}
+
+"$build/bench_sat" "$scale" "$root/BENCH_sat.fresh.json"
+append_entry "$root/BENCH_sat.json" "$root/BENCH_sat.fresh.json"
 echo
-"$build/bench_pdr" "$pdr_sec" "" "$root/BENCH_pdr.json"
+"$build/bench_pdr" "$pdr_sec" "" "$root/BENCH_pdr.fresh.json"
+append_entry "$root/BENCH_pdr.json" "$root/BENCH_pdr.fresh.json"
 echo
-echo "trajectory: $root/BENCH_sat.json, $root/BENCH_pdr.json"
+echo "trajectory: $root/BENCH_sat.json, $root/BENCH_pdr.json (commit $commit)"

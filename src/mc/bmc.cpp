@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "mc/lemma_exchange.hpp"
+#include "obs/trace.hpp"
 
 namespace itpseq::mc {
 
@@ -25,6 +26,11 @@ void BmcEngine::execute(EngineResult& out) {
       out.verdict = Verdict::kUnknown;
       return;
     }
+    if (obs::enabled()) {
+      obs::counters().bounds.fetch_add(1, std::memory_order_relaxed);
+      obs::emit("bound_start", {{"k", k}});
+    }
+    obs::Span obs_bound("bound", {{"k", k}});
     feed.poll();
     sat::Solver solver;
     solver.set_restart_mode(opts_.sat_restarts);
@@ -106,6 +112,11 @@ void BmcEngine::execute_incremental(EngineResult& out) {
       finish();
       return;
     }
+    if (obs::enabled()) {
+      obs::counters().bounds.fetch_add(1, std::memory_order_relaxed);
+      obs::emit("bound_start", {{"k", k}});
+    }
+    obs::Span obs_bound("bound", {{"k", k}});
     unr.add_transition(k - 1, 0);
     unr.assert_constraints(k, 0);
     if (opts_.scheme == cnf::TargetScheme::kExactAssume && k >= 2)

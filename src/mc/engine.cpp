@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "aig/compact.hpp"
+#include "obs/trace.hpp"
 
 namespace itpseq::mc {
 
@@ -23,6 +24,10 @@ Engine::Engine(const aig::Aig& model, std::size_t prop, EngineOptions opts)
 
 EngineResult Engine::run() {
   start_ = std::chrono::steady_clock::now();
+  // Tag every event this thread emits (including from the SAT core) with
+  // the engine's name, and time the whole run as one top-level span.
+  obs::ScopedEngine obs_tag(name());
+  obs::Span obs_span("run");
   EngineResult out;
   out.engine = name();
   if (!preliminary_checks(out)) execute(out);

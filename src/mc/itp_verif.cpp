@@ -5,6 +5,7 @@
 
 #include "itp/interpolate.hpp"
 #include "mc/lemma_exchange.hpp"
+#include "obs/trace.hpp"
 
 namespace itpseq::mc {
 
@@ -132,6 +133,11 @@ void ItpVerifEngine::execute(EngineResult& out) {
       out.verdict = Verdict::kUnknown;
       return;
     }
+    if (obs::enabled()) {
+      obs::counters().bounds.fetch_add(1, std::memory_order_relaxed);
+      obs::emit("bound_start", {{"k", k}});
+    }
+    obs::Span obs_bound("bound", {{"k", k}});
     poll_exchange();
     // Nothing survives an outer restart, so the state-set AIG can be
     // garbage-collected wholesale once it grows (the invariant-lemma
@@ -183,6 +189,9 @@ void ItpVerifEngine::execute(EngineResult& out) {
       }
       if (spurious) break;  // deepen the unrolling
 
+      obs::emit("itp_round", {{"k", k},
+                              {"iteration", j + 1},
+                              {"itp_nodes", G.cone_size(I)}});
       out.stats.max_itp_nodes = std::max(out.stats.max_itp_nodes, G.cone_size(I));
       publish_terms(I);
       // Fixpoint modulo the invariant lemmas: new states within inv are

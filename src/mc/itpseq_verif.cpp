@@ -6,6 +6,7 @@
 
 #include "itp/interpolate.hpp"
 #include "mc/sim.hpp"
+#include "obs/trace.hpp"
 #include "opt/fraig.hpp"
 
 namespace itpseq::mc {
@@ -233,6 +234,11 @@ void ItpSeqEngine::execute(EngineResult& out) {
       out.verdict = Verdict::kUnknown;
       return;
     }
+    if (obs::enabled()) {
+      obs::counters().bounds.fetch_add(1, std::memory_order_relaxed);
+      obs::emit("bound_start", {{"k", k}});
+    }
+    obs::Span obs_bound("bound", {{"k", k}});
 
     // Safe point for the lemma exchange: between bounds.  New invariant
     // lemmas extend inv_ (constant within a bound).
@@ -415,6 +421,14 @@ void ItpSeqEngine::execute(EngineResult& out) {
     for (unsigned j = 1; j <= k; ++j)
       out.stats.max_itp_nodes =
           std::max(out.stats.max_itp_nodes, G.cone_size(terms[j]));
+    if (obs::enabled()) {
+      std::uint64_t total_nodes = 0;
+      for (unsigned j = 1; j <= k; ++j) total_nodes += G.cone_size(terms[j]);
+      obs::emit("itpseq_extract", {{"k", k},
+                                   {"serial_prefix", ns},
+                                   {"fallback", fallback ? 1u : 0u},
+                                   {"seq_nodes", total_nodes}});
+    }
 
     // Share the syntactic latch clauses of the fresh terms as candidates
     // (quota per bound, spent across the terms in sequence order).

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "mc/lemma_exchange.hpp"
+#include "obs/trace.hpp"
 
 namespace itpseq::mc {
 
@@ -57,10 +58,16 @@ void KInductionEngine::execute(EngineResult& out) {
       finish_step();
       return;
     }
+    if (obs::enabled()) {
+      obs::counters().bounds.fetch_add(1, std::memory_order_relaxed);
+      obs::emit("bound_start", {{"k", k}});
+    }
+    obs::Span obs_bound("bound", {{"k", k}});
     feed.poll();
 
     // --- base(k): counterexample of exact depth k ------------------------
     {
+      obs::Span obs_base("base", {{"k", k}});
       sat::Solver solver;
       solver.set_restart_mode(opts_.sat_restarts);
       cnf::Unroller unr(model_, solver);
@@ -91,6 +98,7 @@ void KInductionEngine::execute(EngineResult& out) {
     }
 
     // --- step(k): p holds for k steps from *any* state, then fails -------
+    obs::Span obs_step("step", {{"k", k}});
     step_unr.add_transition(k - 1, 0);
     step_unr.assert_constraints(k, 0);
     step_next.resize(feed.invariants.size(), 0);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
+
 namespace itpseq::mc {
 
 const char* to_string(LemmaGrade g) {
@@ -41,6 +43,15 @@ LemmaExchange::LemmaExchange(std::size_t num_latches, std::size_t capacity)
     : num_latches_(num_latches), capacity_(capacity) {}
 
 bool LemmaExchange::publish(Lemma lemma) {
+  const char* obs_grade = to_string(lemma.grade);
+  auto obs_report = [&](std::size_t lits, bool accepted) {
+    if (!obs::enabled()) return;
+    if (accepted)
+      obs::counters().lemmas_published.fetch_add(1, std::memory_order_relaxed);
+    obs::emit("lemma_publish", {{"grade", obs_grade},
+                                {"lits", lits},
+                                {"accepted", accepted ? 1u : 0u}});
+  };
   std::vector<LatchLit>& c = lemma.clause;
   std::sort(c.begin(), c.end());
   c.erase(std::unique(c.begin(), c.end()), c.end());
@@ -53,6 +64,7 @@ bool LemmaExchange::publish(Lemma lemma) {
   std::lock_guard<std::mutex> lock(mu_);
   if (bad) {
     ++stats_.rejected;
+    obs_report(c.size(), false);
     return false;
   }
   // Dedup before the capacity check, and keep one live copy per clause
@@ -71,11 +83,13 @@ bool LemmaExchange::publish(Lemma lemma) {
                    (stored == 0 && s > 0);
     if (!upgrade) {
       ++stats_.rejected;
+      obs_report(c.size(), false);
       return false;
     }
   }
   if (lemmas_.size() >= capacity_) {
     ++stats_.rejected;
+    obs_report(c.size(), false);
     return false;
   }
   if (it != seen_.end()) {
@@ -85,6 +99,7 @@ bool LemmaExchange::publish(Lemma lemma) {
     seen_.emplace(c, std::make_pair(s, lemmas_.size()));
   }
   lemmas_.push_back(std::move(lemma));
+  obs_report(lemmas_.back().clause.size(), true);
   delivered_.push_back(0);
   dead_.push_back(0);
   ++stats_.published;
@@ -158,19 +173,29 @@ aig::Lit latch_clause_pred(aig::Aig& g, const std::vector<LatchLit>& clause) {
 std::size_t LemmaFeed::poll() {
   if (hub == nullptr) return 0;
   std::size_t got = 0;
+  std::size_t got_inv = 0, got_frame = 0, got_cand = 0;
   for (Lemma& l : hub->fetch(cursor, self)) {
     ++got;
     switch (l.grade) {
       case LemmaGrade::kInvariant:
+        ++got_inv;
         invariants.push_back(std::move(l));
         break;
       case LemmaGrade::kFrame:
+        ++got_frame;
         frames.push_back(std::move(l));
         break;
       case LemmaGrade::kCandidate:
+        ++got_cand;
         candidates.push_back(std::move(l));
         break;
     }
+  }
+  if (got > 0 && obs::enabled()) {
+    obs::counters().lemmas_fetched.fetch_add(got, std::memory_order_relaxed);
+    obs::emit("lemma_fetch", {{"invariant", got_inv},
+                              {"frame", got_frame},
+                              {"candidate", got_cand}});
   }
   return got;
 }

@@ -27,6 +27,7 @@
 
 #include "mc/lemma_exchange.hpp"
 #include "mc/ternary.hpp"
+#include "obs/trace.hpp"
 
 namespace itpseq::mc {
 namespace {
@@ -305,6 +306,8 @@ class PdrContext {
           lifted.push_back(l);
       }
       stats_.lift_kept += lifted.size();
+      obs::emit("pdr_lift", {{"before", p.cube.size()},
+                             {"after", lifted.size()}});
       p.cube = std::move(lifted);
     }
     if (!p.in_init) restore_init_disjoint_concrete(p.cube, p.latches);
@@ -603,6 +606,7 @@ class PdrContext {
     if (inductive_check(cube)) {
       add_to_inf(cube);
       ++stats_.exch_consumed;
+      obs::emit("lemma_adopt", {{"as", "invariant"}, {"lits", cube.size()}});
       publish(cube, LemmaGrade::kInvariant, 0);  // strength upgrade
       return Adopt::kAdopted;
     }
@@ -615,6 +619,7 @@ class PdrContext {
     if (consecution(k_ - 1, cube, nullptr, nullptr) == sat::Status::kUnsat) {
       add_blocked(cube, k_);
       ++stats_.exch_consumed;
+      obs::emit("lemma_adopt", {{"as", "frame"}, {"lits", cube.size()}});
       return Adopt::kAdopted;
     }
     return Adopt::kRetry;
@@ -677,6 +682,8 @@ class PdrContext {
       Obligation ob = queue_.top();
       queue_.pop();
       ++stats_.obligations;
+      if (obs::enabled())
+        obs::counters().obligations.fetch_add(1, std::memory_order_relaxed);
       const Cube s = nodes_[ob.node].cube;  // copy: nodes_ may grow
       if (ob.frame == 0) {
         // Normally unreachable (predecessors found relative to F_0 are
@@ -714,6 +721,10 @@ class PdrContext {
         Cube g = generalize(s, ob.frame - 1, core);
         unsigned lvl = push_forward(g, ob.frame - 1);
         stats_.gen_dropped += s.size() - g.size();
+        obs::emit("pdr_blocked", {{"frame", ob.frame},
+                                  {"pushed_to", lvl + 1},
+                                  {"cube", s.size()},
+                                  {"generalized", g.size()}});
         add_blocked(g, lvl + 1);
         // Note: no re-enqueue at a higher frame.  Keeping every node at
         // frame = K - (distance to bad) guarantees the first obligation
@@ -849,6 +860,12 @@ void PdrContext::run(EngineResult& out) {
   while (k_ <= opts_.max_bound) {
     out.k_fp = k_;
     stats_.frames = k_;
+    if (obs::enabled()) {
+      std::uint64_t lemmas = 0;
+      for (const auto& f : stored_) lemmas += f.size();
+      obs::emit("pdr_frame", {{"k", k_}, {"lemmas", lemmas}});
+    }
+    obs::Span obs_frontier("frontier", {{"k", k_}});
     consume_foreign();  // safe point: between frontiers, queue empty
     StepOutcome r = strengthen(out);
     if (r == StepOutcome::kFailed) return;

@@ -6,6 +6,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace itpseq::sat {
 
 namespace {
@@ -571,6 +573,11 @@ Lit Solver::pick_branch() {
 
 void Solver::reduce_db() {
   ++stats_.db_reductions;
+  if (obs::enabled()) {
+    obs::counters().reduce_dbs.fetch_add(1, std::memory_order_relaxed);
+    obs::emit("sat_reduce_db", {{"learned", learned_list_.size()},
+                                {"arena_bytes", arena_bytes()}});
+  }
   // Reduction candidates: live learned clauses outside the core tier.
   // Binary clauses are kept (their watchers are inline and dirt cheap) and
   // reason-locked clauses must survive.
@@ -691,6 +698,13 @@ void Solver::garbage_collect() {
   stats_.wasted_bytes_reclaimed +=
       (arena_.size() - to.size()) * sizeof(std::uint32_t);
   ++stats_.gc_runs;
+  if (obs::enabled()) {
+    obs::counters().gc_runs.fetch_add(1, std::memory_order_relaxed);
+    obs::emit("sat_gc",
+              {{"reclaimed_bytes",
+                (arena_.size() - to.size()) * sizeof(std::uint32_t)},
+               {"arena_bytes", to.size() * sizeof(std::uint32_t)}});
+  }
   arena_.swap(to);
   wasted_ = 0;
 }
@@ -743,6 +757,28 @@ Status Solver::solve_assuming(const std::vector<Lit>& assumptions,
     // search at all.
     return Status::kUnknown;
   }
+
+  // Telemetry: this solve's contribution to the global sampler counters is
+  // pushed as deltas — periodically at the sample points below and, via the
+  // scope guard, on every exit path.  All of it is behind obs::enabled().
+  struct ObsWindow {
+    std::uint64_t conflicts, propagations, decisions;
+  } obs_last{stats_.conflicts, stats_.propagations, stats_.decisions};
+  auto obs_flush = [&] {
+    if (!obs::enabled()) return;
+    obs::Counters& c = obs::counters();
+    c.conflicts.fetch_add(stats_.conflicts - obs_last.conflicts,
+                          std::memory_order_relaxed);
+    c.propagations.fetch_add(stats_.propagations - obs_last.propagations,
+                             std::memory_order_relaxed);
+    c.decisions.fetch_add(stats_.decisions - obs_last.decisions,
+                          std::memory_order_relaxed);
+    obs_last = {stats_.conflicts, stats_.propagations, stats_.decisions};
+  };
+  struct ObsFlushGuard {
+    decltype(obs_flush)& flush;
+    ~ObsFlushGuard() { flush(); }
+  } obs_guard{obs_flush};
 
   std::int64_t conflict_limit = budget.conflicts;
   std::uint64_t restart_count = 0;
@@ -829,6 +865,17 @@ Status Solver::solve_assuming(const std::vector<Lit>& assumptions,
         backtrack(0);
         return Status::kUnknown;
       }
+      // Conflict-rate sample: one event every 4096 conflicts makes long
+      // queries visible mid-flight without touching the per-conflict path
+      // beyond this masked check.
+      if ((stats_.conflicts & 4095) == 0 && obs::enabled()) {
+        obs::emit("sat_sample", {{"conflicts", stats_.conflicts},
+                                 {"propagations", stats_.propagations},
+                                 {"decisions", stats_.decisions},
+                                 {"learned", learned_list_.size()},
+                                 {"arena_bytes", arena_bytes()}});
+        obs_flush();
+      }
     } else {
       const bool restart_now =
           restart_mode_ == RestartMode::kLuby
@@ -837,6 +884,12 @@ Status Solver::solve_assuming(const std::vector<Lit>& assumptions,
                     glue_fast > kEmaThreshold * glue_slow;
       if (restart_now) {
         ++stats_.restarts;
+        if (obs::enabled()) {
+          obs::counters().restarts.fetch_add(1, std::memory_order_relaxed);
+          obs::emit("sat_restart", {{"conflicts", stats_.conflicts},
+                                    {"glue_fast", glue_fast},
+                                    {"glue_slow", glue_slow}});
+        }
         ++restart_count;
         conflicts_this_restart = 0;
         conflicts_until_restart =

@@ -152,6 +152,70 @@ TEST_F(CliTest, McExportedInvariantIsACertificate) {
   EXPECT_TRUE(c.ok) << c.error;
 }
 
+TEST_F(CliTest, McQuietEmitsOnlyTheVerdictLine) {
+  // --quiet must suppress every "c ..." comment line: stdout is exactly the
+  // solution line, so scripts can `read verdict < <(itpseq-mc -q ...)`.
+  std::string out;
+  EXPECT_EQ(run(tool("itpseq-mc") + " -q -t 30 " + pass_aag_, &out), 20);
+  EXPECT_EQ(out, "s PASS\n");
+  EXPECT_EQ(run(tool("itpseq-mc") + " -q -t 30 -e bmc " + fail_aag_, &out),
+            10);
+  EXPECT_EQ(out, "s FAIL\n");
+  // Without --quiet the comment lines are present.
+  EXPECT_EQ(run(tool("itpseq-mc") + " -t 30 " + pass_aag_, &out), 20);
+  EXPECT_NE(out.find("c engine="), std::string::npos) << out;
+}
+
+TEST_F(CliTest, McTraceAndStatsJsonFilesAreWritten) {
+  std::string trace = temp_path("run.jsonl");
+  std::string chrome = temp_path("run.chrome.json");
+  std::string stats = temp_path("run_stats.json");
+  ASSERT_EQ(run(tool("itpseq-mc") + " -q -t 30 -e pdr --trace-out " + trace +
+                " --stats-json " + stats + " " + pass_aag_),
+            20);
+  // JSONL: non-empty, every line carries the schema keys.
+  std::ifstream in(trace);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    for (const char* key :
+         {"\"ts_us\":", "\"tid\":", "\"engine\":", "\"kind\":", "\"payload\":"})
+      EXPECT_NE(line.find(key), std::string::npos) << line;
+  }
+  EXPECT_GT(lines, 0u);
+  // Stats report: verdict and engine recorded.
+  std::string report;
+  {
+    std::ifstream sin(stats);
+    std::stringstream ss;
+    ss << sin.rdbuf();
+    report = ss.str();
+  }
+  EXPECT_NE(report.find("\"verdict\":\"PASS\""), std::string::npos) << report;
+  EXPECT_NE(report.find("\"engine\":\"PDR\""), std::string::npos) << report;
+  EXPECT_NE(report.find("\"exchange\":"), std::string::npos) << report;
+  // Chrome format: the file is one JSON array (framing check; obs_test
+  // parses the content).
+  ASSERT_EQ(run(tool("itpseq-mc") + " -q -t 30 -e portfolio -j 4 " +
+                "--trace-out " + chrome + " --trace-format chrome " +
+                pass_aag_),
+            20);
+  std::string body;
+  {
+    std::ifstream cin2(chrome);
+    std::stringstream ss;
+    ss << cin2.rdbuf();
+    body = ss.str();
+  }
+  ASSERT_FALSE(body.empty());
+  EXPECT_EQ(body.front(), '[');
+  EXPECT_EQ(body[body.find_last_not_of("\n")], ']');
+  EXPECT_NE(body.find("\"ph\":\"X\""), std::string::npos);
+  // Unknown trace format is a usage error.
+  EXPECT_EQ(run(tool("itpseq-mc") + " --trace-format yaml " + pass_aag_), 1);
+}
+
 TEST_F(CliTest, McUsageErrors) {
   EXPECT_EQ(run(tool("itpseq-mc")), 1);
   EXPECT_EQ(run(tool("itpseq-mc") + " -e nonsense " + pass_aag_), 1);

@@ -11,10 +11,12 @@
 //   10  property violated (FAIL; witness available)
 //    0  undecided within the budget (UNKNOWN)
 //    1  usage or input error
+#include <cinttypes>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "aig/aiger_io.hpp"
@@ -24,10 +26,12 @@
 #include "mc/itpseq_verif.hpp"
 #include "mc/kinduction.hpp"
 #include "mc/portfolio.hpp"
+#include "mc/run_report.hpp"
 #include "mc/sim.hpp"
 #include "mc/trace_min.hpp"
 #include "mc/witness.hpp"
 #include "bdd/reach.hpp"
+#include "obs/trace.hpp"
 
 using namespace itpseq;
 
@@ -78,9 +82,33 @@ void usage(const char* argv0) {
                "                    invariant certificate independently\n"
                "      --invariant F on PASS, write the certificate invariant\n"
                "                    as a circuit (input i = latch i) to F\n"
-               "  -q, --quiet       verdict line only\n"
-               "  -h, --help        this message\n",
-               argv0);
+               "      --trace-out F write a structured event trace to F\n"
+               "      --trace-format jsonl | chrome\n"
+               "                    jsonl (default): one event object per\n"
+               "                    line; chrome: Chrome trace-event JSON\n"
+               "                    for Perfetto / chrome://tracing\n"
+               "      --stats-json F\n"
+               "                    write a machine-readable run report\n"
+               "                    (verdict, per-engine spans, counters,\n"
+               "                    lemma-exchange matrix) to F\n"
+               "      --progress    throttled one-line search-rate reports\n"
+               "                    on stderr while engines run\n"
+               "  -q, --quiet       suppress all 'c ...' comment lines;\n"
+               "                    stdout carries only the 's VERDICT' line\n"
+               "  -h, --help        this message\n"
+               "\n"
+               "Tracing a run:\n"
+               "  %s -e portfolio -j 4 --trace-out run.trace \\\n"
+               "      --trace-format chrome --stats-json run.json design.aig\n"
+               "  Load run.trace in https://ui.perfetto.dev to see each\n"
+               "  worker's engine spans (bounds, PDR frontiers, SAT restarts)\n"
+               "  on its own thread track; run.json summarizes the same run\n"
+               "  for scripts.  Add --progress to watch conflict/propagation\n"
+               "  rates live.  JSONL traces (the default format) are one\n"
+               "  self-describing object per line:\n"
+               "    {\"ts_us\":..,\"tid\":..,\"engine\":\"PDR\",\n"
+               "     \"kind\":\"span\",\"payload\":{...}}\n",
+               argv0, argv0);
 }
 
 aig::Aig load(const std::string& path) {
@@ -103,6 +131,10 @@ struct Args {
   bool quiet = false;
   unsigned jobs = 0;        // portfolio: 0 = auto, 1 = sequential
   bool exchange = true;     // portfolio: cross-engine lemma exchange
+  std::string trace_out;
+  obs::TraceConfig::Format trace_format = obs::TraceConfig::Format::kJsonl;
+  std::string stats_json_file;
+  bool progress = false;
   mc::EngineOptions opts;
 };
 
@@ -201,6 +233,24 @@ bool parse_args(int argc, char** argv, Args& a) {
     } else if (s == "--invariant") {
       if (!(v = need(i))) return false;
       a.invariant_file = v;
+    } else if (s == "--trace-out") {
+      if (!(v = need(i))) return false;
+      a.trace_out = v;
+    } else if (s == "--trace-format") {
+      if (!(v = need(i))) return false;
+      if (!std::strcmp(v, "jsonl"))
+        a.trace_format = obs::TraceConfig::Format::kJsonl;
+      else if (!std::strcmp(v, "chrome"))
+        a.trace_format = obs::TraceConfig::Format::kChrome;
+      else {
+        std::fprintf(stderr, "unknown trace format '%s'\n", v);
+        return false;
+      }
+    } else if (s == "--stats-json") {
+      if (!(v = need(i))) return false;
+      a.stats_json_file = v;
+    } else if (s == "--progress") {
+      a.progress = true;
     } else if (s == "-q" || s == "--quiet") {
       a.quiet = true;
     } else if (!s.empty() && s[0] == '-') {
@@ -291,11 +341,30 @@ int main(int argc, char** argv) {
                 a.file.c_str(), g.num_inputs(), g.num_latches(), g.num_ands(),
                 g.num_outputs());
 
+  // Tracing covers exactly the engine run: install before dispatch, finish
+  // (drain + close) after every engine thread has joined — check_portfolio
+  // joins its pool before returning, so dispatch() returning is the barrier.
+  std::unique_ptr<obs::TraceSink> sink;
+  if (!a.trace_out.empty() || !a.stats_json_file.empty() || a.progress) {
+    obs::TraceConfig tc;
+    tc.path = a.trace_out;
+    tc.format = a.trace_format;
+    tc.progress = a.progress;
+    sink = std::make_unique<obs::TraceSink>(std::move(tc));
+  }
+
   mc::EngineResult r;
   try {
     r = dispatch(a, g);
   } catch (const std::exception& ex) {
     std::fprintf(stderr, "%s: %s\n", argv[0], ex.what());
+    return 1;
+  }
+  if (sink != nullptr) sink->finish();
+  if (!a.stats_json_file.empty() &&
+      !mc::write_stats_json(a.stats_json_file, r, sink.get(), "itpseq-mc",
+                            a.file)) {
+    std::fprintf(stderr, "cannot write %s\n", a.stats_json_file.c_str());
     return 1;
   }
 
@@ -345,19 +414,16 @@ int main(int argc, char** argv) {
   if (!a.quiet) {
     std::printf("c engine=%s time=%.3fs k_fp=%u j_fp=%u\n", r.engine.c_str(),
                 r.seconds, r.k_fp, r.j_fp);
-    std::printf(
-        "c sat_calls=%llu conflicts=%llu proof_clauses=%llu max_itp=%zu\n",
-        static_cast<unsigned long long>(r.stats.sat_calls),
-        static_cast<unsigned long long>(r.stats.sat_conflicts),
-        static_cast<unsigned long long>(r.stats.proof_clauses),
-        r.stats.max_itp_nodes);
+    std::printf("c sat_calls=%" PRIu64 " conflicts=%" PRIu64
+                " proof_clauses=%" PRIu64 " max_itp=%zu\n",
+                r.stats.sat_calls, r.stats.sat_conflicts,
+                r.stats.proof_clauses, r.stats.max_itp_nodes);
     if (r.stats.cba_visible_latches > 0)
       std::printf("c abstraction: visible=%u refinements=%u\n",
                   r.stats.cba_visible_latches, r.stats.cba_refinements);
     if (r.stats.lemmas_published > 0 || r.stats.lemmas_consumed > 0)
-      std::printf("c exchange: published=%llu consumed=%llu\n",
-                  static_cast<unsigned long long>(r.stats.lemmas_published),
-                  static_cast<unsigned long long>(r.stats.lemmas_consumed));
+      std::printf("c exchange: published=%" PRIu64 " consumed=%" PRIu64 "\n",
+                  r.stats.lemmas_published, r.stats.lemmas_consumed);
   }
   std::printf("s %s\n", mc::to_string(r.verdict));
 
