@@ -28,6 +28,7 @@
 #include "cnf/unroller.hpp"
 #include "json_writer.hpp"
 #include "obs/trace.hpp"
+#include "sat/preprocess.hpp"
 #include "sat/solver.hpp"
 #include "sat_workloads.hpp"
 
@@ -43,6 +44,7 @@ struct WorkloadResult {
   sat::SolverStats stats;        // summed over reps
   std::size_t arena_bytes = 0;   // summed final arenas
   unsigned reps = 0;
+  bool inprocess = true;         // solver-side inprocessing enabled?
 };
 
 double props_per_sec(const WorkloadResult& r) {
@@ -51,14 +53,19 @@ double props_per_sec(const WorkloadResult& r) {
 }
 
 /// Run `body(solver)` (which must build AND solve), timing only the span
-/// the body reports via its return value.
+/// the body reports via its return value.  `inprocess` toggles the solver's
+/// built-in simplification — paired on/off entries are the ablation rows in
+/// BENCH_sat.json.
 template <typename Body>
-WorkloadResult run_workload(const std::string& name, unsigned reps, Body body) {
+WorkloadResult run_workload(const std::string& name, unsigned reps, Body body,
+                            bool inprocess = true) {
   WorkloadResult r;
   r.name = name;
   r.reps = reps;
+  r.inprocess = inprocess;
   for (unsigned i = 0; i < reps; ++i) {
     sat::Solver s;
+    s.set_inprocess(inprocess);
     r.solve_sec += body(s, i);
     r.stats += s.stats();
     r.arena_bytes += s.arena_bytes();
@@ -115,6 +122,31 @@ double incremental_gc(sat::Solver& s, unsigned rep) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
+// Preprocessor front-end: the standalone CNF-level sat::Preprocessor
+// squeezes the formula once up front, a fresh solver (inprocessing off —
+// the simplification already happened) solves the residue, and a SAT model
+// is extended back over the eliminated variables.  This is the proof-free
+// one-shot pipeline described in sat/preprocess.hpp; compare against the
+// plain `random3sat` rows to see what up-front BVE buys.
+double preproc3sat(sat::Solver& s, unsigned rep) {
+  const unsigned nvars = 120;
+  auto t0 = Clock::now();
+  sat::Preprocessor pre(nvars);
+  bench::gen_random3sat(nvars, 4.26, 9000 + rep, [&](std::vector<sat::Lit> l) {
+    pre.add_clause(std::move(l));
+  });
+  pre.run();
+  for (unsigned v = 0; v < nvars; ++v) s.new_var();
+  if (!pre.unsat()) {
+    for (const auto& cl : pre.clauses()) s.add_clause(cl);
+    if (s.solve() == sat::Status::kSat) {
+      std::vector<sat::LBool> model = s.model();
+      pre.extend_model(model);
+    }
+  }
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
 // Seconds-scale variants for the `quick` (perf-smoke) mode.
 double pigeonhole_quick(sat::Solver& s, unsigned) {
   bench::build_pigeonhole(s, 7);
@@ -144,17 +176,31 @@ int main(int argc, char** argv) {
   std::string json_path = argc > 2 ? argv[2] : "BENCH_sat.json";
 
   std::vector<WorkloadResult> results;
+  // The `*_noinpr` rows rerun a workload with the solver's inprocessing
+  // switched off — the in-tree ablation for the simplification pipeline.
+  // `preproc3sat` instead runs the standalone Preprocessor front-end over
+  // the same formulas as `random3sat`.
   if (quick) {
     results.push_back(run_workload("bmc_unroll", 1, bmc_unroll));
     results.push_back(run_workload("pigeonhole7", 1, pigeonhole_quick));
+    results.push_back(
+        run_workload("pigeonhole7_noinpr", 1, pigeonhole_quick, false));
     results.push_back(run_workload("random3sat", 2, random3sat));
+    results.push_back(run_workload("preproc3sat", 2, preproc3sat, false));
     results.push_back(run_workload("binary_net", 1, binary_net_quick));
     results.push_back(run_workload("incremental_gc", 1, incremental_gc_quick));
   } else {
     results.push_back(run_workload("bmc_unroll", 8 * scale, bmc_unroll));
+    results.push_back(
+        run_workload("bmc_unroll_noinpr", 8 * scale, bmc_unroll, false));
     results.push_back(run_workload("bmc_deep", 2 * scale, bmc_deep));
     results.push_back(run_workload("pigeonhole8", 2 * scale, pigeonhole));
+    results.push_back(
+        run_workload("pigeonhole8_noinpr", 2 * scale, pigeonhole, false));
     results.push_back(run_workload("random3sat", 16 * scale, random3sat));
+    results.push_back(
+        run_workload("random3sat_noinpr", 16 * scale, random3sat, false));
+    results.push_back(run_workload("preproc3sat", 16 * scale, preproc3sat, false));
     results.push_back(run_workload("big3sat", 1 * scale, big3sat));
     results.push_back(run_workload("binary_net", 1 * scale, binary_net));
     results.push_back(run_workload("incremental_gc", 1 * scale, incremental_gc));
@@ -229,6 +275,16 @@ int main(int argc, char** argv) {
     json.field("arena_peak_bytes", r.stats.peak_arena_bytes);
     json.field("wasted_bytes_reclaimed", r.stats.wasted_bytes_reclaimed);
     json.field("removed_satisfied", r.stats.removed_satisfied);
+    json.field("inprocess", r.inprocess);
+    json.field("inprocess_rounds", r.stats.inprocess_rounds);
+    json.field("subsumed", r.stats.subsumed);
+    json.field("strengthened", r.stats.strengthened);
+    json.field("vars_eliminated", r.stats.vars_eliminated);
+    json.field("vivified", r.stats.vivified);
+    json.field("probed", r.stats.probed);
+    json.field("failed_literals", r.stats.failed_literals);
+    json.field("hyper_binaries", r.stats.hyper_binaries);
+    json.field("restarts_blocked", r.stats.restarts_blocked);
     json.field("learned_core", r.stats.learned_core);
     json.field("learned_mid", r.stats.learned_mid);
     json.field("learned_local", r.stats.learned_local);

@@ -73,9 +73,10 @@ int main(int argc, char** argv) {
   }
 
   std::printf("\nSAT core totals (per engine, over the suite):\n");
-  std::printf("%-10s %10s %14s %6s %12s %6s %12s %10s %20s\n", "engine",
-              "calls", "props", "bin%", "conflicts", "gc", "reclaimKB",
-              "peakKB", "learned c/m/l");
+  std::printf("%-10s %10s %14s %6s %12s %6s %12s %10s %20s %6s %8s %6s %6s %6s\n",
+              "engine", "calls", "props", "bin%", "conflicts", "gc",
+              "reclaimKB", "peakKB", "learned c/m/l", "inpr", "subsume",
+              "elim", "vivif", "probe");
   for (int i = 0; i < 6; ++i) {
     const mc::EngineStats& t = totals[i];
     // Glue-tier shares of all learned clauses (histogram bucket = LBD - 1,
@@ -85,7 +86,8 @@ int main(int argc, char** argv) {
     std::uint64_t mid = h[2] + h[3] + h[4] + h[5];
     std::uint64_t local = h[6] + h[7];
     std::printf(
-        "%-10s %10llu %14llu %5.1f%% %12llu %6llu %12llu %10zu %7llu/%5llu/%5llu\n",
+        "%-10s %10llu %14llu %5.1f%% %12llu %6llu %12llu %10zu "
+        "%7llu/%5llu/%5llu %6llu %8llu %6llu %6llu %6llu\n",
         names[i], static_cast<unsigned long long>(t.sat_calls),
         static_cast<unsigned long long>(t.sat_propagations),
         t.sat_propagations
@@ -97,7 +99,13 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(t.sat_arena_reclaimed / 1024),
         t.sat_arena_peak / 1024, static_cast<unsigned long long>(core),
         static_cast<unsigned long long>(mid),
-        static_cast<unsigned long long>(local));
+        static_cast<unsigned long long>(local),
+        static_cast<unsigned long long>(t.sat_inprocess_rounds),
+        static_cast<unsigned long long>(t.sat_subsumed),
+        static_cast<unsigned long long>(t.sat_vars_eliminated),
+        static_cast<unsigned long long>(t.sat_vivified),
+        static_cast<unsigned long long>(t.sat_failed_literals +
+                                        t.sat_hyper_binaries));
   }
   return 0;
 }

@@ -4,7 +4,12 @@
 #
 #   BENCH_sat.json  one entry per solver workload + totals: propagations/s,
 #                   conflicts/s, binary-propagation share, peak clause-store
-#                   bytes, GC activity, learned-clause tiers, wall-clock
+#                   bytes, GC activity, learned-clause tiers, inprocessing
+#                   counters, wall-clock.  Selected workloads appear twice —
+#                   plain and `*_noinpr` (solver inprocessing off) — as the
+#                   in-tree ablation for the simplification pipeline, plus a
+#                   `preproc3sat` row driving the standalone Preprocessor
+#                   front-end over the same formulas as `random3sat`.
 #   BENCH_pdr.json  PDR engine over the circuit suite: per-instance verdict,
 #                   queries, frames and the solver-side counters
 #

@@ -34,6 +34,7 @@ void BmcEngine::execute(EngineResult& out) {
     feed.poll();
     sat::Solver solver;
     solver.set_restart_mode(opts_.sat_restarts);
+    solver.set_inprocess(opts_.sat_inprocess);
     cnf::Unroller unr(model_, solver);
     unr.assert_init(0);
     for (unsigned t = 0; t < k; ++t) unr.add_transition(t, 0);
@@ -90,6 +91,7 @@ void BmcEngine::execute_incremental(EngineResult& out) {
   // as the bound moves on, which encodes "first failure at depth k".
   sat::Solver solver;
   solver.set_restart_mode(opts_.sat_restarts);
+  solver.set_inprocess(opts_.sat_inprocess);
   cnf::Unroller unr(model_, solver);
   unr.assert_init(0);
   unr.assert_constraints(0, 0);

@@ -66,6 +66,7 @@ bool Engine::preliminary_checks(EngineResult& out) {
   // Depth-0 check: S0 AND bad(V^0).
   sat::Solver solver;
   solver.set_restart_mode(opts_.sat_restarts);
+  solver.set_inprocess(opts_.sat_inprocess);
   cnf::Unroller unr(model_, solver);
   unr.assert_init(0);
   unr.assert_constraints(0, 0);
@@ -126,6 +127,12 @@ void Engine::absorb_stats(EngineResult& out, const sat::Solver& solver) const {
       out.stats.sat_arena_peak, s.peak_arena_bytes);
   for (std::size_t i = 0; i < s.glue_hist.size(); ++i)
     out.stats.sat_glue_hist[i] += s.glue_hist[i];
+  out.stats.sat_inprocess_rounds += s.inprocess_rounds;
+  out.stats.sat_subsumed += s.subsumed + s.strengthened;
+  out.stats.sat_vars_eliminated += s.vars_eliminated;
+  out.stats.sat_vivified += s.vivified;
+  out.stats.sat_failed_literals += s.failed_literals;
+  out.stats.sat_hyper_binaries += s.hyper_binaries;
   if (solver.proof_enabled() && solver.proof().complete())
     out.stats.proof_clauses += solver.proof().core().size();
 }

@@ -30,6 +30,7 @@ void KInductionEngine::execute(EngineResult& out) {
   // "good" constraints become permanent, targets are assumed per bound.
   sat::Solver step;
   step.set_restart_mode(opts_.sat_restarts);
+  step.set_inprocess(opts_.sat_inprocess);
   cnf::Unroller step_unr(model_, step);
   step_unr.assert_constraints(0, 0);
 
@@ -70,6 +71,7 @@ void KInductionEngine::execute(EngineResult& out) {
       obs::Span obs_base("base", {{"k", k}});
       sat::Solver solver;
       solver.set_restart_mode(opts_.sat_restarts);
+      solver.set_inprocess(opts_.sat_inprocess);
       cnf::Unroller unr(model_, solver);
       unr.assert_init(0);
       for (unsigned t = 0; t < k; ++t) unr.add_transition(t, 0);

@@ -106,6 +106,7 @@ class PdrContext {
                       std::chrono::duration<double>(time_budget_sec))),
         unr_(model, solver_) {
     solver_.set_restart_mode(opts.sat_restarts);
+    solver_.set_inprocess(opts.sat_inprocess);
     setup();
   }
 

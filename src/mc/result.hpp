@@ -102,6 +102,11 @@ struct EngineOptions {
   /// robust default) or glue-EMA adaptive restarts (sat::RestartMode::kEma,
   /// Glucose-style).  Never affects verdicts, only search order/speed.
   sat::RestartMode sat_restarts = sat::RestartMode::kLuby;
+  /// Inprocessing (subsumption / bounded variable elimination /
+  /// vivification / failed-literal probing inside every SAT solver the
+  /// engine creates; see sat::Solver::set_inprocess).  Proof-logging safe:
+  /// never affects verdicts, ITP extraction, or tracecheck export.
+  bool sat_inprocess = true;
   /// Cooperative cancellation token (non-owning; may be null).  The
   /// contract every engine implements: *poll* the flag at loop heads and
   /// inside SAT calls (via sat::Budget::cancel) and return kUnknown
@@ -129,6 +134,13 @@ struct EngineStats {
   /// Learned-clause glue histogram summed over all solvers (bucket
   /// min(LBD, 8) - 1; see sat::SolverStats::glue_hist).
   std::array<std::uint64_t, 8> sat_glue_hist{};
+  /// Inprocessing totals over all solvers (sat::SolverStats counterparts).
+  std::uint64_t sat_inprocess_rounds = 0;
+  std::uint64_t sat_subsumed = 0;          // subsumption + strengthening
+  std::uint64_t sat_vars_eliminated = 0;   // BVE commits
+  std::uint64_t sat_vivified = 0;          // clauses shortened by vivify
+  std::uint64_t sat_failed_literals = 0;   // probe-derived units
+  std::uint64_t sat_hyper_binaries = 0;    // probe-derived binaries
   std::uint64_t proof_clauses = 0;     // total core clauses over all proofs
   std::size_t max_itp_nodes = 0;       // largest interpolant AIG cone
   std::size_t state_aig_nodes = 0;     // final state-set AIG size
@@ -150,6 +162,12 @@ struct EngineStats {
     if (s.sat_arena_peak > sat_arena_peak) sat_arena_peak = s.sat_arena_peak;
     for (std::size_t i = 0; i < sat_glue_hist.size(); ++i)
       sat_glue_hist[i] += s.sat_glue_hist[i];
+    sat_inprocess_rounds += s.sat_inprocess_rounds;
+    sat_subsumed += s.sat_subsumed;
+    sat_vars_eliminated += s.sat_vars_eliminated;
+    sat_vivified += s.sat_vivified;
+    sat_failed_literals += s.sat_failed_literals;
+    sat_hyper_binaries += s.sat_hyper_binaries;
     proof_clauses += s.proof_clauses;
     if (s.max_itp_nodes > max_itp_nodes) max_itp_nodes = s.max_itp_nodes;
     if (s.state_aig_nodes > state_aig_nodes) state_aig_nodes = s.state_aig_nodes;

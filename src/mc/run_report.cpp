@@ -87,6 +87,12 @@ std::string stats_json(const EngineResult& r, const obs::TraceSink* sink,
     out += buf;
   }
   out += "],";
+  kv_u64(out, "sat_inprocess_rounds", s.sat_inprocess_rounds);
+  kv_u64(out, "sat_subsumed", s.sat_subsumed);
+  kv_u64(out, "sat_vars_eliminated", s.sat_vars_eliminated);
+  kv_u64(out, "sat_vivified", s.sat_vivified);
+  kv_u64(out, "sat_failed_literals", s.sat_failed_literals);
+  kv_u64(out, "sat_hyper_binaries", s.sat_hyper_binaries);
   kv_u64(out, "proof_clauses", s.proof_clauses);
   kv_u64(out, "max_itp_nodes", s.max_itp_nodes);
   kv_u64(out, "state_aig_nodes", s.state_aig_nodes);

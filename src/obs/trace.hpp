@@ -167,6 +167,7 @@ struct Counters {
   std::atomic<std::uint64_t> restarts{0};
   std::atomic<std::uint64_t> reduce_dbs{0};
   std::atomic<std::uint64_t> gc_runs{0};
+  std::atomic<std::uint64_t> inprocess_rounds{0};
   std::atomic<std::uint64_t> obligations{0};
   std::atomic<std::uint64_t> bounds{0};
   std::atomic<std::uint64_t> lemmas_published{0};

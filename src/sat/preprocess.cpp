@@ -161,8 +161,11 @@ bool Preprocessor::subsumption_pass() {
 
 bool Preprocessor::eliminate_var(Var v, int grow, unsigned max_occ) {
   if (frozen_[v] || eliminated_[v]) return false;
-  const auto& pos = occ_[mk_lit(v, false)];
-  const auto& neg_occ = occ_[mk_lit(v, true)];
+  // Copy the occurrence lists: the commit below detaches clauses and
+  // attaches resolvents, both of which mutate (and may reallocate) the very
+  // occ_ entries these lists come from.
+  const std::vector<std::size_t> pos = occ_[mk_lit(v, false)];
+  const std::vector<std::size_t> neg_occ = occ_[mk_lit(v, true)];
   if (pos.size() > max_occ || neg_occ.size() > max_occ) return false;
 
   // Build resolvents; bail out if the database would grow too much.

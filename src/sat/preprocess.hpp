@@ -9,10 +9,16 @@
 //
 // Eliminated variables are recorded so that a model of the simplified
 // formula can be *extended* to a model of the original one (needed by
-// callers that read counterexamples back).  The preprocessor is a
-// standalone component: it is used in front of proof-free SAT calls (plain
-// BMC, containment checks); interpolating calls keep the original clauses
-// because partition labels must be preserved.
+// callers that read counterexamples back).
+//
+// Role: this is the standalone, CNF-level variant of the machinery.  The
+// model-checking engines do NOT use it — they rely on the Solver's built-in
+// inprocessing (Solver::set_inprocess, on by default), which runs the same
+// trio plus vivification and probing *inside* the solver, where every
+// rewrite is proof-logged and eliminated vars can be transparently restored
+// for later assumptions.  The Preprocessor remains useful as a proof-free
+// front-end for one-shot CNF workloads (see bench/bench_sat.cpp) and as the
+// reference implementation the in-solver pipeline is tested against.
 #pragma once
 
 #include <cstdint>

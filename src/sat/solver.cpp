@@ -23,6 +23,13 @@ constexpr double kEmaFastAlpha = 1.0 / 32.0;
 constexpr double kEmaSlowAlpha = 1.0 / 4096.0;
 constexpr double kEmaThreshold = 1.25;
 constexpr std::uint64_t kEmaMinConflicts = 50;
+// Trail-size blocking for kEma (Glucose): veto a glue-triggered restart when
+// the current trail exceeds the trail-size EMA by kTrailBlockFactor — the
+// search looks close to a satisfying assignment.  Armed only after
+// kTrailBlockWarmup conflicts so the EMA is meaningful.
+constexpr double kTrailAlpha = 1.0 / 4096.0;
+constexpr double kTrailBlockFactor = 1.4;
+constexpr std::uint64_t kTrailBlockWarmup = 100;
 }  // namespace
 
 Solver::Solver() { level_stamp_.push_back(0); }  // level 0 exists up front
@@ -43,6 +50,8 @@ Var Solver::new_var() {
   heap_pos_.push_back(kNoPos);
   seen_.push_back(0);
   level_stamp_.push_back(0);  // decision levels never exceed num_vars
+  frozen_.push_back(0);
+  eliminated_.push_back(0);
   watches_.emplace_back();
   watches_.emplace_back();
   bin_watches_.emplace_back();
@@ -74,6 +83,11 @@ bool Solver::add_clause(std::vector<Lit> lits, std::uint32_t label) {
     if (lits[i + 1] == neg(lits[i])) return true;  // tautology: skip
   for (Lit l : lits)
     if (var(l) >= num_vars()) throw std::invalid_argument("add_clause: unknown var");
+  // A new clause may mention a BVE-eliminated variable; bring it back first
+  // (its recorded clauses re-install under their original proof ids), so
+  // the elimination never leaks into the caller-visible semantics.
+  for (Lit l : lits)
+    if (eliminated_[var(l)]) restore_var(var(l));
   // Skip clauses already satisfied at level 0 (sound for refutation: the
   // satisfying literal is implied by the remaining formula).
   for (Lit l : lits)
@@ -565,7 +579,7 @@ void Solver::backtrack(std::uint32_t level) {
 Lit Solver::pick_branch() {
   while (!heap_.empty()) {
     Var v = heap_pop();
-    if (assign_[v] == LBool::kUndef)
+    if (assign_[v] == LBool::kUndef && !eliminated_[v])
       return mk_lit(v, phase_[v] == 0);  // saved phase (default negative)
   }
   return kNoLit;
@@ -733,6 +747,17 @@ Status Solver::solve_assuming(const std::vector<Lit>& assumptions,
   assumptions_ = assumptions;
   failed_.clear();
   backtrack(0);  // a previous kUnknown may have left the search mid-tree
+  // Freeze contract: assumption vars must never be eliminated.  Freeze them
+  // now and restore any that an earlier inprocessing round already
+  // eliminated — BVE would otherwise silently mis-solve this query.
+  for (Lit a : assumptions_) {
+    Var v = var(a);
+    if (v >= num_vars())
+      throw std::invalid_argument("solve_assuming: unknown var");
+    frozen_[v] = 1;
+    if (eliminated_[v]) restore_var(v);
+    assert(!eliminated_[v] && "assumed variable left eliminated");
+  }
   auto start = std::chrono::steady_clock::now();
   auto cancelled = [&] {
     return budget.cancel != nullptr &&
@@ -781,6 +806,11 @@ Status Solver::solve_assuming(const std::vector<Lit>& assumptions,
   } obs_guard{obs_flush};
 
   std::int64_t conflict_limit = budget.conflicts;
+  std::uint64_t conflicts_this_solve = 0;
+  // Trail-size EMA for the kEma blocking heuristic: a trail far above the
+  // recent average means the search is close to completing an assignment —
+  // restarting would discard that progress (Glucose's blocking rule).
+  double trail_ema = 0.0;
   std::uint64_t restart_count = 0;
   std::uint64_t conflicts_until_restart =
       static_cast<std::uint64_t>(luby(restart_count) * kRestartBase);
@@ -803,12 +833,21 @@ Status Solver::solve_assuming(const std::vector<Lit>& assumptions,
   // maybe compact the arena.  Amortized against propagation work because
   // the sweep is O(arena).
   maybe_simplify();
+  // Inprocessing round (subsumption/BVE/vivification/probing), amortized by
+  // conflicts since the last round; may refute the formula outright.
+  if (!maybe_inprocess()) return Status::kUnsat;
 
   while (true) {
     CRef conflict = propagate();
     if (conflict != kNoCRef) {
       ++stats_.conflicts;
       ++conflicts_this_restart;
+      ++conflicts_this_solve;
+      if (conflicts_this_solve == 1)
+        trail_ema = static_cast<double>(trail_.size());
+      else
+        trail_ema +=
+            kTrailAlpha * (static_cast<double>(trail_.size()) - trail_ema);
       if (trail_lim_.empty()) {
         analyze_final(conflict);
         ok_ = false;
@@ -877,11 +916,22 @@ Status Solver::solve_assuming(const std::vector<Lit>& assumptions,
         obs_flush();
       }
     } else {
-      const bool restart_now =
+      bool restart_now =
           restart_mode_ == RestartMode::kLuby
               ? conflicts_this_restart >= conflicts_until_restart
               : conflicts_this_restart >= kEmaMinConflicts && glue_seeded &&
                     glue_fast > kEmaThreshold * glue_slow;
+      if (restart_now && restart_mode_ == RestartMode::kEma &&
+          conflicts_this_solve >= kTrailBlockWarmup &&
+          static_cast<double>(trail_.size()) > kTrailBlockFactor * trail_ema) {
+        // Blocking: the current trail dwarfs the recent average, i.e. the
+        // search may be about to finish an assignment.  Veto this restart
+        // and re-arm the glue trigger so the next window decides afresh.
+        ++stats_.restarts_blocked;
+        conflicts_this_restart = 0;
+        glue_fast = glue_slow;
+        restart_now = false;
+      }
       if (restart_now) {
         ++stats_.restarts;
         if (obs::enabled()) {
@@ -899,6 +949,7 @@ Status Solver::solve_assuming(const std::vector<Lit>& assumptions,
         glue_fast = glue_slow;
         backtrack(0);
         maybe_simplify();
+        if (!maybe_inprocess()) return Status::kUnsat;
         continue;
       }
       if (static_cast<double>(learned_list_.size()) >= max_learned_) {
@@ -926,6 +977,9 @@ Status Solver::solve_assuming(const std::vector<Lit>& assumptions,
       if (next == kNoLit) next = pick_branch();
       if (next == kNoLit) {
         model_.assign(assign_.begin(), assign_.end());
+        // BVE left eliminated vars unassigned; reconstruct their values so
+        // callers read a total model of the *original* formula.
+        extend_model_over_eliminated(model_);
         backtrack(0);
         return Status::kSat;
       }

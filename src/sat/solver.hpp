@@ -63,6 +63,40 @@
 // (PDR, incremental BMC/ITPSEQ) at a bounded footprint: clauses retired by
 // activation-literal units become satisfied at level 0, are physically
 // reclaimed, and their watcher entries disappear with them.
+//
+// --- Inprocessing ----------------------------------------------------------
+//
+// When enabled (the default), the solver simplifies its own clause database
+// *between* searches: a round runs at solve entry and at level-0 restarts,
+// amortized so at most one round per inprocess-interval conflicts
+// (set_inprocess_interval; the first solve always gets one).  A round is,
+// in order: level-0 propagation to fixpoint, satisfied-clause removal,
+// signature-accelerated subsumption + self-subsuming resolution, bounded
+// variable elimination (BVE) with model reconstruction, clause vivification,
+// and failed-literal probing with on-the-fly hyper-binary resolution (the
+// derived binaries feed the dedicated binary-watch path).  See inprocess.cpp.
+//
+// Proof-safety invariants (what keeps proofs/ITP/tracecheck valid):
+//   * every rewrite is a logged resolution: a strengthened clause is a new
+//     proof clause with chain [old, subsumer] and the removed literal's var
+//     as pivot; each BVE resolvent is logged with chain [C+, C-] on the
+//     eliminated var; vivification/probing derivations resolve the starting
+//     clause against trail reasons (the analyze_final worklist pattern);
+//   * the Proof object retains every clause ever logged, so solver-side
+//     deletion (subsumption, BVE originals, reduce_db) never invalidates a
+//     recorded chain;
+//   * reason-locked and satisfied clauses are never rewritten (at level 0 a
+//     locked clause is satisfied by its implied literal, so the occurrence
+//     index — built over unsatisfied clauses only — cannot even see one).
+//
+// Freeze contract: variables the caller will assume (activation literals,
+// interface/latch vars) must never be eliminated.  freeze(v) marks a var
+// permanently; solve_assuming() additionally auto-freezes every assumption
+// var and *restores* any that was already eliminated (re-installing its
+// recorded clauses under their original ClauseIds, so no new proof steps
+// are needed).  add_clause() restores eliminated vars it mentions the same
+// way.  On kSat the model is extended over eliminated vars in reverse
+// elimination order, so callers read a total model regardless.
 #pragma once
 
 #include <array>
@@ -121,6 +155,17 @@ struct SolverStats {
   /// Learned-clause glue histogram: bucket min(LBD, 8) - 1, i.e. the last
   /// bucket aggregates every clause with LBD >= 8.
   std::array<std::uint64_t, 8> glue_hist{};
+  /// Inprocessing (see solver.hpp header and inprocess.cpp).
+  std::uint64_t inprocess_rounds = 0;
+  std::uint64_t subsumed = 0;          // clauses dropped by subsumption
+  std::uint64_t strengthened = 0;      // self-subsuming resolution rewrites
+  std::uint64_t vars_eliminated = 0;   // BVE-eliminated variables
+  std::uint64_t vars_restored = 0;     // eliminated vars brought back
+  std::uint64_t vivified = 0;          // clauses shortened by vivification
+  std::uint64_t probed = 0;            // failed-literal probes attempted
+  std::uint64_t failed_literals = 0;   // probes that yielded a unit
+  std::uint64_t hyper_binaries = 0;    // binaries from hyper-binary resolution
+  std::uint64_t restarts_blocked = 0;  // EMA restarts vetoed by trail size
 
   /// Cross-solver aggregation for benchmark drivers: counters are summed,
   /// the arena high-water mark takes the maximum.  Keep this the single
@@ -144,6 +189,16 @@ struct SolverStats {
     learned_local += s.learned_local;
     for (std::size_t i = 0; i < glue_hist.size(); ++i)
       glue_hist[i] += s.glue_hist[i];
+    inprocess_rounds += s.inprocess_rounds;
+    subsumed += s.subsumed;
+    strengthened += s.strengthened;
+    vars_eliminated += s.vars_eliminated;
+    vars_restored += s.vars_restored;
+    vivified += s.vivified;
+    probed += s.probed;
+    failed_literals += s.failed_literals;
+    hyper_binaries += s.hyper_binaries;
+    restarts_blocked += s.restarts_blocked;
     return *this;
   }
 };
@@ -219,6 +274,24 @@ class Solver {
   void set_restart_mode(RestartMode m) { restart_mode_ = m; }
   RestartMode restart_mode() const { return restart_mode_; }
 
+  /// Enable/disable inprocessing (default on).  See the header comment for
+  /// what a round does and the proof-safety/freeze contracts.
+  void set_inprocess(bool on) { inprocess_on_ = on; }
+  bool inprocess_enabled() const { return inprocess_on_; }
+  /// Minimum conflicts between inprocessing rounds (default 4000).  Testing
+  /// knob: 0 forces a round at every solve entry and level-0 restart.
+  void set_inprocess_interval(std::uint64_t conflicts) {
+    inprocess_interval_ = conflicts;
+  }
+  /// Mark a variable as never-eliminate (assumption/activation/interface
+  /// vars).  solve_assuming() freezes its assumption vars automatically;
+  /// engines should still freeze vars they will assume *later*, to avoid
+  /// eliminate-then-restore churn.
+  void freeze(Var v) { frozen_[v] = 1; }
+  bool is_frozen(Var v) const { return frozen_[v] != 0; }
+  /// True while v is eliminated by BVE (cleared again if v is restored).
+  bool is_eliminated(Var v) const { return eliminated_[v] != 0; }
+
   /// Check that a full assignment satisfies every input clause (debugging).
   bool verify_model() const;
 
@@ -242,6 +315,7 @@ class Solver {
     bool learned() const { return (base[0] & kLearnedFlag) != 0; }
     bool deleted() const { return (base[0] & kDeletedFlag) != 0; }
     void set_deleted() { base[0] |= kDeletedFlag; }
+    void clear_learned() { base[0] &= ~kLearnedFlag; }
     ClauseId id() const { return base[1]; }
     std::uint32_t lbd() const { return base[2]; }
     void set_lbd(std::uint32_t g) { base[2] = g; }
@@ -317,6 +391,57 @@ class Solver {
   bool heap_contains(Var v) const { return heap_pos_[v] != kNoPos; }
   double luby(std::uint64_t i) const;
 
+  // inprocessing (inprocess.cpp) -------------------------------------------
+  /// One clause recorded when its variable was eliminated: the literal set
+  /// and the proof id it was originally logged under (restore re-installs it
+  /// under the same id — no new proof steps).
+  struct ElimClause {
+    std::vector<Lit> lits;
+    ClauseId id;
+  };
+  struct ElimRecord {
+    Var v;
+    std::vector<ElimClause> clauses;
+    bool active = true;  // false once the var was restored
+  };
+  /// Transient occurrence index over the live, unsatisfied clauses; lives
+  /// only for the subsumption/BVE phase of one round (see inprocess.cpp).
+  struct OccIndex;
+
+  bool maybe_inprocess();  // false iff the round refuted the formula
+  bool inprocess();        // one full round; false iff refuted
+  bool inprocess_subsume_eliminate();
+  bool inprocess_vivify();
+  bool inprocess_probe();
+  bool subsume_with(OccIndex& ix, std::size_t i, std::uint64_t& ticks);
+  /// Reclassify a learned clause as input (irredundant).  Required before a
+  /// learned clause may subsume-delete an input clause: afterwards it may be
+  /// the only carrier of that constraint, and BVE drops learned clauses with
+  /// the pivot without resolving them.
+  void promote_to_input(CRef cr);
+  bool try_eliminate(OccIndex& ix, Var v);
+  void strengthen_in_index(OccIndex& ix, std::size_t di, Lit drop,
+                           ClauseId subsumer_id);
+  /// Log a derived clause: add_learned normally, set_final for the empty
+  /// clause, and a chain of one clause (no resolutions) reuses its own id.
+  ClauseId log_derived(const std::vector<Lit>& lits, ResolutionChain&& chain);
+  /// Allocate + attach/enqueue an already-logged clause at level 0.  Returns
+  /// kNoCRef when the clause is satisfied at level 0 (nothing installed);
+  /// sets ok_ = false on a root conflict.
+  CRef integrate_clause(std::vector<Lit> lits, ClauseId id, bool learned,
+                        std::uint32_t lbd);
+  /// log_derived + integrate_clause; false iff the formula became refuted.
+  bool install_derived(std::vector<Lit> lits, ResolutionChain&& chain,
+                       bool learned, std::uint32_t lbd);
+  /// Resolve the clause at `start` against trail reasons until only
+  /// reason-free literals remain (decisions, unassigned literals and `keep`,
+  /// which may be kNoLit); the analyze_final worklist pattern.  Appends the
+  /// proof chain when logging is on (starting from start's own id).
+  std::vector<Lit> resolve_with_reasons(CRef start, Lit keep,
+                                        ResolutionChain& chain);
+  void restore_var(Var v);  // undo BVE for v (freeze it permanently)
+  void extend_model_over_eliminated(std::vector<LBool>& model) const;
+
   // clause storage ---------------------------------------------------------
   std::vector<std::uint32_t> arena_;         // flat clause arena (see header)
   std::vector<CRef> learned_list_;           // arena refs of learned clauses
@@ -365,6 +490,17 @@ class Solver {
   RestartMode restart_mode_ = RestartMode::kLuby;
   std::size_t simplify_trail_ = 0;           // trail size at last remove_satisfied
   std::uint64_t simplify_props_ = 0;         // propagation count at last sweep
+
+  // inprocessing state -------------------------------------------------------
+  bool inprocess_on_ = true;
+  std::uint64_t inprocess_interval_ = 4000;  // conflicts between rounds
+  bool inprocessed_once_ = false;
+  std::uint64_t last_inprocess_conflicts_ = 0;
+  std::vector<std::uint8_t> frozen_;         // per var: never eliminate
+  std::vector<std::uint8_t> eliminated_;     // per var: currently BVE'd away
+  std::vector<ElimRecord> elim_trail_;       // elimination order (for models)
+  std::size_t vivify_head_ = 0;              // rotating cursors so successive
+  std::size_t probe_head_ = 0;               // rounds cover different regions
 };
 
 }  // namespace itpseq::sat

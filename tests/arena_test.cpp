@@ -56,6 +56,7 @@ TEST(Arena, BinaryPropagationsCounted) {
 
 TEST(Arena, GlueHistogramPopulated) {
   Solver s;
+  s.set_inprocess(false);  // needs real search: learned clauses fill the hist
   std::mt19937 rng(42);
   const unsigned nvars = 30;
   for (unsigned i = 0; i < nvars; ++i) s.new_var();
@@ -140,6 +141,7 @@ TEST(Arena, LbdTierReduceDeterminism) {
   auto run = [](SolverStats& out) -> Status {
     std::mt19937 rng(555);
     Solver s;
+    s.set_inprocess(false);  // the test targets reduce_db/GC on search paths
     s.set_reduce_base(30.0);
     s.set_gc_frac(0.05);
     const unsigned nvars = 40;
@@ -253,6 +255,7 @@ TEST(Arena, EmaRestartsFireOnRisingGlue) {
   // Pigeonhole makes learned glue drift upward, which is exactly the
   // EMA-mode trigger (short-term average 25% above long-term).
   Solver s;
+  s.set_inprocess(false);  // BVE refutes PHP at the root; restarts need search
   s.set_restart_mode(RestartMode::kEma);
   const int n = 6;  // 7 pigeons, 6 holes: several hundred conflicts
   std::vector<std::vector<Var>> p(n + 1, std::vector<Var>(n));

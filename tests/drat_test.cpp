@@ -97,6 +97,7 @@ TEST(Drat, BmcProofsVerify) {
   // instance (the solver must actually search and learn).
   aig::Aig g = bench::queue(5, true);  // PASS property
   sat::Solver s;
+  s.set_inprocess(false);  // the point is search-learned clauses in the DRAT
   s.enable_proof();
   cnf::Unroller unr(g, s);
   unr.assert_init(1);

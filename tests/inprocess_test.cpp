@@ -1,0 +1,351 @@
+// inprocess_test.cpp — in-solver simplification (subsumption, BVE,
+// vivification, probing) under proof logging: verdict crosschecks against
+// untouched solvers, model extension over eliminated variables, proof
+// replay + DRAT/tracecheck export on UNSAT, and the freeze/restore
+// contract for assumptions and late add_clause.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <random>
+#include <sstream>
+#include <thread>
+
+#include "sat/drat.hpp"
+#include "sat/proof_check.hpp"
+#include "sat/solver.hpp"
+#include "sat/tracecheck.hpp"
+
+namespace itpseq::sat {
+namespace {
+
+Lit pos(Var v) { return mk_lit(v, false); }
+Lit negl(Var v) { return mk_lit(v, true); }
+
+std::vector<std::vector<Lit>> random_cnf(std::mt19937& rng, unsigned nvars,
+                                         double ratio) {
+  std::vector<std::vector<Lit>> cls;
+  const unsigned n = static_cast<unsigned>(nvars * ratio);
+  for (unsigned c = 0; c < n; ++c) {
+    unsigned len = 1 + rng() % 4;
+    std::vector<Lit> cl;
+    for (unsigned k = 0; k < len; ++k)
+      cl.push_back(mk_lit(rng() % nvars, rng() % 2));
+    cls.push_back(cl);
+  }
+  return cls;
+}
+
+bool model_satisfies(const std::vector<LBool>& model,
+                     const std::vector<std::vector<Lit>>& cls) {
+  for (const auto& c : cls) {
+    bool sat = false;
+    for (Lit l : c)
+      if (lbool_xor(model[var(l)], sign(l)) == LBool::kTrue) {
+        sat = true;
+        break;
+      }
+    if (!sat) return false;
+  }
+  return true;
+}
+
+/// Crosscheck harness: solve `cls` with inprocessing forced on every entry
+/// and with it disabled; verdicts must agree, SAT models (extended over
+/// eliminated vars) must satisfy the ORIGINAL clauses, and UNSAT proofs
+/// must replay, DRAT-check and export to tracecheck.
+void crosscheck(const std::vector<std::vector<Lit>>& cls, unsigned nvars,
+                RestartMode mode) {
+  Solver on, off;
+  on.set_restart_mode(mode);
+  off.set_restart_mode(mode);
+  on.set_inprocess_interval(0);  // a round at every entry and restart
+  off.set_inprocess(false);
+  on.enable_proof();
+  off.enable_proof();
+  for (unsigned i = 0; i < nvars; ++i) {
+    on.new_var();
+    off.new_var();
+  }
+  for (const auto& c : cls) {
+    on.add_clause(c);
+    off.add_clause(c);
+  }
+  Status son = on.solve(), soff = off.solve();
+  ASSERT_NE(son, Status::kUnknown);
+  ASSERT_EQ(son, soff) << "inprocessing changed the verdict";
+  if (son == Status::kSat) {
+    EXPECT_TRUE(model_satisfies(on.model(), cls))
+        << "extended model violates an original clause";
+    EXPECT_TRUE(on.verify_model());
+  } else {
+    auto pc = check_proof(on.proof());
+    EXPECT_TRUE(pc.ok) << pc.error;
+    // Independent RUP check of the exported DRAT against the originals.
+    std::ostringstream drat;
+    write_drat(on.proof(), drat);
+    std::istringstream in(drat.str());
+    auto dc = check_drat(nvars, cls, in);
+    EXPECT_TRUE(dc.ok) << dc.error;
+    std::ostringstream tc;
+    write_tracecheck(on.proof(), tc);
+    EXPECT_FALSE(tc.str().empty());
+  }
+}
+
+class InprocessFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(InprocessFuzzTest, VerdictModelAndProofAgree) {
+  std::mt19937 rng(3000 + GetParam());
+  const unsigned nvars = 10 + rng() % 15;
+  const double ratio = 2.5 + (rng() % 30) / 10.0;  // spans SAT and UNSAT
+  auto cls = random_cnf(rng, nvars, ratio);
+  crosscheck(cls, nvars,
+             GetParam() % 2 ? RestartMode::kEma : RestartMode::kLuby);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCnf, InprocessFuzzTest, ::testing::Range(0, 80));
+
+TEST(Inprocess, UnsatDerivedDuringElimination) {
+  // (x|y)(x|~y)(~x|y)(~x|~y): BVE on x yields the resolvents (y) and (~y);
+  // integrating the second falsifies it at level 0 — the refutation is
+  // derived entirely inside the inprocessing round, before any search.
+  Solver s;
+  s.set_inprocess_interval(0);
+  s.enable_proof();
+  Var x = s.new_var(), y = s.new_var();
+  s.add_clause({pos(x), pos(y)});
+  s.add_clause({pos(x), negl(y)});
+  s.add_clause({negl(x), pos(y)});
+  s.add_clause({negl(x), negl(y)});
+  EXPECT_EQ(s.solve(), Status::kUnsat);
+  auto pc = check_proof(s.proof());
+  EXPECT_TRUE(pc.ok) << pc.error;
+  std::ostringstream tc;
+  write_tracecheck(s.proof(), tc);
+  EXPECT_FALSE(tc.str().empty());
+}
+
+TEST(Inprocess, SubsumptionAndStrengtheningCounted) {
+  // Freeze everything so BVE cannot erase the evidence: (a|b) subsumes
+  // (a|b|c) and self-subsumes (a|~b|c) down to (a|c).
+  Solver s;
+  s.set_inprocess_interval(0);
+  s.enable_proof();
+  Var a = s.new_var(), b = s.new_var(), c = s.new_var();
+  for (Var v : {a, b, c}) s.freeze(v);
+  s.add_clause({pos(a), pos(b)});
+  s.add_clause({pos(a), pos(b), pos(c)});
+  s.add_clause({pos(a), negl(b), pos(c)});
+  EXPECT_EQ(s.solve(), Status::kSat);
+  EXPECT_GE(s.stats().subsumed, 1u);
+  EXPECT_GE(s.stats().strengthened, 1u);
+  EXPECT_GE(s.stats().inprocess_rounds, 1u);
+  EXPECT_TRUE(model_satisfies(
+      s.model(), {{pos(a), pos(b)}, {pos(a), pos(b), pos(c)},
+                  {pos(a), negl(b), pos(c)}}));
+}
+
+TEST(Inprocess, FailedLiteralProbeDerivesUnit) {
+  // Two-step implication chain x -> y -> z against (~x|~z): no pair of these
+  // binaries subsumes or strengthens another, and all vars are frozen (no
+  // BVE) — only probing x walks the chain to the conflict, so the failed
+  // literal installs unit ~x.
+  Solver s;
+  s.set_inprocess_interval(0);
+  s.enable_proof();
+  Var x = s.new_var(), y = s.new_var(), z = s.new_var();
+  for (Var v : {x, y, z}) s.freeze(v);
+  s.add_clause({negl(x), pos(y)});
+  s.add_clause({negl(y), pos(z)});
+  s.add_clause({negl(x), negl(z)});
+  EXPECT_EQ(s.solve(), Status::kSat);
+  EXPECT_GE(s.stats().probed, 1u);
+  EXPECT_GE(s.stats().failed_literals, 1u);
+  EXPECT_FALSE(s.model_value(x));
+}
+
+TEST(Inprocess, VivificationShortensClause) {
+  // The chain x -> y -> z makes the ~z literal of (~x|~z|w) redundant, but
+  // the two-step implication is invisible to self-subsuming resolution (no
+  // single resolution partner exists).  Vivifying the clause propagates x,
+  // hits z's reason chain, and strengthens it to (~x|w).  Vars frozen so
+  // BVE stays out of the way.
+  Solver s;
+  s.set_inprocess_interval(0);
+  s.enable_proof();
+  Var x = s.new_var(), y = s.new_var(), z = s.new_var(), w = s.new_var();
+  for (Var v : {x, y, z, w}) s.freeze(v);
+  s.add_clause({negl(x), pos(y)});
+  s.add_clause({negl(y), pos(z)});
+  s.add_clause({negl(x), negl(z), pos(w)});
+  EXPECT_EQ(s.solve(), Status::kSat);
+  EXPECT_GE(s.stats().vivified, 1u);
+}
+
+TEST(Inprocess, AssumingEliminatedVarRestoresIt) {
+  // BVE eliminates v on its first round; a later solve_assuming over v must
+  // transparently restore it (recorded clauses come back under their
+  // original ids) — without the restore the query would mis-solve.
+  Solver s;
+  s.set_inprocess_interval(0);
+  Var v = s.new_var(), a = s.new_var(), b = s.new_var();
+  s.add_clause({pos(v), pos(a)});
+  s.add_clause({negl(v), pos(b)});
+  ASSERT_EQ(s.solve(), Status::kSat);
+  ASSERT_TRUE(s.is_eliminated(v)) << "test premise: BVE eliminated v";
+  // ~v and ~a falsify (v | a): UNSAT under these assumptions.
+  Status st = s.solve_assuming({negl(v), negl(a)});
+  EXPECT_EQ(st, Status::kUnsat);
+  EXPECT_TRUE(s.ok()) << "assumption-unsat must not refute the formula";
+  EXPECT_FALSE(s.failed_assumptions().empty());
+  EXPECT_FALSE(s.is_eliminated(v));
+  EXPECT_TRUE(s.is_frozen(v));
+  // And satisfiable again under the opposite polarity.
+  EXPECT_EQ(s.solve_assuming({pos(v)}), Status::kSat);
+  EXPECT_TRUE(s.model_value(b));
+}
+
+TEST(Inprocess, AddClauseOverEliminatedVarRestoresIt) {
+  Solver s;
+  s.set_inprocess_interval(0);
+  Var v = s.new_var(), a = s.new_var(), b = s.new_var();
+  s.add_clause({pos(v), pos(a)});
+  s.add_clause({negl(v), pos(b)});
+  ASSERT_EQ(s.solve(), Status::kSat);
+  ASSERT_TRUE(s.is_eliminated(v));
+  // New input clause over v: the var must come back before it is installed.
+  s.add_clause({pos(v)});
+  s.add_clause({negl(b)});
+  EXPECT_EQ(s.solve(), Status::kUnsat);  // v & (~v | b) & ~b
+}
+
+TEST(Inprocess, FrozenVarsNeverEliminated) {
+  std::mt19937 rng(77);
+  Solver s;
+  s.set_inprocess_interval(0);
+  const unsigned nvars = 16;
+  for (unsigned i = 0; i < nvars; ++i) s.new_var();
+  for (unsigned i = 0; i < nvars; ++i) s.freeze(i);
+  for (const auto& c : random_cnf(rng, nvars, 3.0)) s.add_clause(c);
+  Status st = s.solve();
+  ASSERT_NE(st, Status::kUnknown);
+  for (unsigned i = 0; i < nvars; ++i)
+    EXPECT_FALSE(s.is_eliminated(i)) << "frozen var " << i << " eliminated";
+  EXPECT_EQ(s.stats().vars_eliminated, 0u);
+}
+
+TEST(Inprocess, IncrementalAssumptionFuzz) {
+  // A long-lived inprocessing solver answering assumption queries (with
+  // clause additions in between) must agree with a fresh untouched solver
+  // on every query, and its failed-assumption cores must be sufficient.
+  for (int seed = 0; seed < 12; ++seed) {
+    std::mt19937 rng(5000 + seed);
+    const unsigned nvars = 12 + rng() % 8;
+    Solver inc;
+    inc.set_inprocess_interval(0);
+    for (unsigned i = 0; i < nvars; ++i) inc.new_var();
+    std::vector<std::vector<Lit>> cls = random_cnf(rng, nvars, 2.0);
+    for (const auto& c : cls) inc.add_clause(c);
+    for (int q = 0; q < 8; ++q) {
+      // Occasionally grow the formula (exercises restore via add_clause).
+      if (rng() % 3 == 0) {
+        auto extra = random_cnf(rng, nvars, 0.3);
+        for (const auto& c : extra) {
+          cls.push_back(c);
+          inc.add_clause(c);
+        }
+      }
+      std::vector<Lit> assume;
+      const unsigned na = rng() % 4;
+      for (unsigned k = 0; k < na; ++k)
+        assume.push_back(mk_lit(rng() % nvars, rng() % 2));
+      Status si = inc.solve_assuming(assume);
+      ASSERT_NE(si, Status::kUnknown);
+      // Reference: fresh solver, assumptions as units.
+      Solver ref;
+      ref.set_inprocess(false);
+      for (unsigned i = 0; i < nvars; ++i) ref.new_var();
+      bool ref_ok = true;
+      for (const auto& c : cls) ref_ok = ref.add_clause(c) && ref_ok;
+      for (Lit aL : assume) ref_ok = ref.add_clause({aL}) && ref_ok;
+      Status sr = ref_ok ? ref.solve() : Status::kUnsat;
+      if (sr == Status::kUnknown) continue;
+      ASSERT_EQ(si == Status::kSat, sr == Status::kSat)
+          << "incremental inprocessing changed a query verdict (seed "
+          << seed << ", query " << q << ")";
+      if (si == Status::kSat) {
+        EXPECT_TRUE(model_satisfies(inc.model(), cls));
+        for (Lit aL : assume)
+          EXPECT_EQ(lbool_xor(inc.model()[var(aL)], sign(aL)), LBool::kTrue);
+      } else if (!inc.failed_assumptions().empty()) {
+        // The failed core alone must already be inconsistent with the CNF.
+        Solver core;
+        core.set_inprocess(false);
+        for (unsigned i = 0; i < nvars; ++i) core.new_var();
+        bool core_ok = true;
+        for (const auto& c : cls) core_ok = core.add_clause(c) && core_ok;
+        for (Lit f : inc.failed_assumptions())
+          core_ok = core.add_clause({f}) && core_ok;
+        EXPECT_TRUE(!core_ok || core.solve() == Status::kUnsat)
+            << "failed-assumption core is not sufficient";
+      }
+      if (!inc.ok()) break;  // formula itself refuted: nothing left to ask
+    }
+  }
+}
+
+TEST(Inprocess, RepeatedRoundsReachFixpointSafely) {
+  // Many forced rounds over the same (shrinking) database must stay sound
+  // and terminate; verdict checked against a clean solver at the end.
+  std::mt19937 rng(99);
+  const unsigned nvars = 18;
+  auto cls = random_cnf(rng, nvars, 3.5);
+  Solver s;
+  s.set_inprocess_interval(0);
+  for (unsigned i = 0; i < nvars; ++i) s.new_var();
+  for (const auto& c : cls) s.add_clause(c);
+  Status first = s.solve();
+  for (int i = 0; i < 5 && first != Status::kUnknown; ++i)
+    ASSERT_EQ(s.solve(), first) << "re-solve changed the verdict";
+  Solver ref;
+  ref.set_inprocess(false);
+  for (unsigned i = 0; i < nvars; ++i) ref.new_var();
+  for (const auto& c : cls) ref.add_clause(c);
+  EXPECT_EQ(s.solve(), ref.solve());
+}
+
+TEST(Inprocess, CancellationDuringInprocessingSolveIsClean) {
+  // Concurrency smoke (runs under TSan via the `concurrency` label): a
+  // cancel token flipped from another thread while a solver with forced
+  // inprocessing churns on pigeonhole queries must stop the solve without
+  // corrupting state — the follow-up uncancelled solve gives the verdict.
+  Solver s;
+  s.set_inprocess_interval(0);
+  const int n = 7;  // 8 pigeons, 7 holes
+  std::vector<std::vector<Var>> p(n + 1, std::vector<Var>(n));
+  for (auto& row : p)
+    for (auto& v : row) v = s.new_var();
+  for (int i = 0; i <= n; ++i) {
+    std::vector<Lit> cl;
+    for (int h = 0; h < n; ++h) cl.push_back(pos(p[i][h]));
+    s.add_clause(cl);
+  }
+  for (int h = 0; h < n; ++h)
+    for (int i = 0; i <= n; ++i)
+      for (int j = i + 1; j <= n; ++j)
+        s.add_clause({negl(p[i][h]), negl(p[j][h])});
+  std::atomic<bool> cancel{false};
+  std::thread killer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    cancel.store(true, std::memory_order_relaxed);
+  });
+  Budget b;
+  b.cancel = &cancel;
+  Status st = s.solve(b);  // kUnknown if the token won, kUnsat if we did
+  killer.join();
+  EXPECT_NE(st, Status::kSat);
+  EXPECT_EQ(s.solve(), Status::kUnsat);  // state intact after cancellation
+}
+
+}  // namespace
+}  // namespace itpseq::sat

@@ -2,6 +2,7 @@
 // model extension, and the individual simplification rules.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <random>
 
 #include "sat/preprocess.hpp"
@@ -134,6 +135,103 @@ TEST_P(PreprocessRandomTest, EquisatisfiableAndModelsExtend) {
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomCnf, PreprocessRandomTest, ::testing::Range(0, 60));
+
+TEST(Preprocess, UnsatDerivedDuringElimination) {
+  // XOR-style binaries: no clause subsumes or self-subsumes another, so the
+  // subsumption pass finds nothing and the contradiction only surfaces once
+  // variable elimination starts resolving.  Eliminating v leaves (a|~b) and
+  // (b|~a); eliminating a then yields the units (b) and (~b) — created
+  // mid-sweep, with no subsumption pass between eliminations — and
+  // eliminating b resolves them to the empty clause *inside* eliminate_var.
+  Preprocessor p(3);
+  const Var v = 0, a = 1, b = 2;
+  p.add_clause({pos(v), pos(a)});
+  p.add_clause({pos(v), pos(b)});
+  p.add_clause({negl(v), negl(a)});
+  p.add_clause({negl(v), negl(b)});
+  p.add_clause({pos(a), pos(b)});
+  p.add_clause({negl(a), negl(b)});
+  EXPECT_FALSE(p.unsat());
+  p.run(/*grow=*/4);
+  EXPECT_TRUE(p.unsat());
+  // The UNSAT must have come from the elimination path, not strengthening.
+  EXPECT_EQ(p.stats().subsumed, 0u);
+  EXPECT_EQ(p.stats().strengthened, 0u);
+  EXPECT_EQ(p.stats().vars_eliminated, 2u);
+
+  // Crosscheck: the in-solver inprocessing pipeline on the same formula.
+  Solver s;
+  s.set_inprocess_interval(0);
+  for (int i = 0; i < 3; ++i) s.new_var();
+  s.add_clause({pos(v), pos(a)});
+  s.add_clause({pos(v), pos(b)});
+  s.add_clause({negl(v), negl(a)});
+  s.add_clause({negl(v), negl(b)});
+  s.add_clause({pos(a), pos(b)});
+  s.add_clause({negl(a), negl(b)});
+  EXPECT_EQ(s.solve(), Status::kUnsat);
+}
+
+class PreprocessSubsumeStressTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PreprocessSubsumeStressTest, RemovalDuringIterationStaysSound) {
+  // Engineered for dense subsumption: every base clause gets random
+  // supersets (subsumption deletes them mid-sweep) and a one-flipped-literal
+  // variant (self-subsumption removes the target and appends a strengthened
+  // copy), so subsumption_pass keeps deleting and growing the database — and
+  // the occurrence lists it is iterating — while it sweeps.
+  std::mt19937 rng(7100 + GetParam());
+  const unsigned nvars = 6 + rng() % 5;  // brute-forceable
+  auto rnd_lit = [&] { return mk_lit(rng() % nvars, rng() % 2); };
+  std::vector<std::vector<Lit>> cls;
+  const unsigned nbase = 4 + rng() % 5;
+  for (unsigned bi = 0; bi < nbase; ++bi) {
+    std::vector<Lit> base;
+    unsigned len = 1 + rng() % 3;
+    for (unsigned k = 0; k < len; ++k) base.push_back(rnd_lit());
+    cls.push_back(base);
+    for (unsigned sup = 0; sup < 2 + rng() % 3; ++sup) {
+      std::vector<Lit> d = base;
+      for (unsigned k = 0; k < 1 + rng() % 3; ++k) d.push_back(rnd_lit());
+      cls.push_back(d);
+    }
+    std::vector<Lit> f = base;
+    std::size_t fi = rng() % f.size();
+    f[fi] = neg(f[fi]);
+    f.push_back(rnd_lit());
+    cls.push_back(f);
+  }
+  std::shuffle(cls.begin(), cls.end(), rng);
+  Preprocessor p(nvars);
+  for (const auto& c : cls) p.add_clause(c);
+  bool expected = brute_force_sat(nvars, cls);
+  p.run(/*grow=*/1);
+  if (p.unsat()) {
+    EXPECT_FALSE(expected);
+    return;
+  }
+  // The supersets guarantee the sweep actually removed during iteration.
+  EXPECT_GT(p.stats().subsumed + p.stats().strengthened, 0u);
+  Solver s;
+  for (unsigned i = 0; i < nvars; ++i) s.new_var();
+  for (auto& c : p.clauses()) s.add_clause(c);
+  Status st = s.solve();
+  ASSERT_NE(st, Status::kUnknown);
+  EXPECT_EQ(st == Status::kSat, expected);
+  if (st == Status::kSat) {
+    std::vector<LBool> model = s.model();
+    p.extend_model(model);
+    for (const auto& c : cls) {
+      bool sat = false;
+      for (Lit l : c)
+        if (lbool_xor(model[var(l)], sign(l)) == LBool::kTrue) sat = true;
+      EXPECT_TRUE(sat) << "original clause violated after model extension";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DenseSubsumption, PreprocessSubsumeStressTest,
+                         ::testing::Range(0, 40));
 
 TEST(Preprocess, LargeGrowEliminatesAggressively) {
   std::mt19937 rng(4242);

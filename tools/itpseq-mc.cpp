@@ -60,6 +60,11 @@ void usage(const char* argv0) {
                "                    luby | ema   restart policy for every\n"
                "                    engine's SAT solvers (default luby;\n"
                "                    ema = Glucose-style adaptive glue)\n"
+               "      --sat-inprocess[=on|off]\n"
+               "                    in-solver inprocessing (subsumption, var\n"
+               "                    elimination, vivification, probing) for\n"
+               "                    every engine's SAT solvers (default on;\n"
+               "                    proof-logging safe)\n"
                "      --incremental[=on|off]\n"
       "                    incremental BMC solver (bmc engine only;\n"
       "                    default on, off = monolithic re-encoding\n"
@@ -212,6 +217,10 @@ bool parse_args(int argc, char** argv, Args& a) {
         std::fprintf(stderr, "unknown restart mode '%s'\n", v);
         return false;
       }
+    } else if (s == "--sat-inprocess" || s == "--sat-inprocess=on") {
+      a.opts.sat_inprocess = true;
+    } else if (s == "--sat-inprocess=off" || s == "--no-sat-inprocess") {
+      a.opts.sat_inprocess = false;
     } else if (s == "--incremental" || s == "--incremental=on") {
       a.opts.bmc_incremental = true;
     } else if (s == "--incremental=off" || s == "--no-incremental") {
