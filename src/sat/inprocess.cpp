@@ -746,9 +746,13 @@ bool Solver::inprocess_probe() {
           ++stats_.hyper_binaries;
         else
           ++stats_.failed_literals;  // collapsed to a unit (or empty)
+        // Read the size before the call: function arguments evaluate in an
+        // unspecified order, so `d.lits.size()` in the same argument list
+        // as `std::move(d.lits)` may see the moved-from (empty) vector and
+        // mis-grade a hyper-binary as LBD 1.
+        const unsigned lbd = d.lits.size() == 2 ? 2 : 1;
         if (!install_derived(std::move(d.lits), std::move(d.chain),
-                             /*learned=*/true,
-                             d.lits.size() == 2 ? 2 : 1))
+                             /*learned=*/true, lbd))
           return false;
       }
       if (!derived.empty()) {
