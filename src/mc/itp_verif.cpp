@@ -190,9 +190,13 @@ void ItpVerifEngine::execute(EngineResult& out) {
       }
       if (spurious) break;  // deepen the unrolling
 
-      obs::emit("itp_round", {{"k", k},
-                              {"iteration", j + 1},
-                              {"itp_nodes", G.cone_size(I)}});
+      // cone_size is an O(cone) DAG walk: keep it behind the gate so the
+      // tracing-off path stays free.
+      if (obs::enabled()) {
+        obs::emit("itp_round", {{"k", k},
+                                {"iteration", j + 1},
+                                {"itp_nodes", G.cone_size(I)}});
+      }
       out.stats.max_itp_nodes = std::max(out.stats.max_itp_nodes, G.cone_size(I));
       publish_terms(I);
       // Fixpoint modulo the invariant lemmas: new states within inv are

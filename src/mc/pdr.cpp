@@ -307,8 +307,10 @@ class PdrContext {
           lifted.push_back(l);
       }
       stats_.lift_kept += lifted.size();
-      obs::emit("pdr_lift", {{"before", p.cube.size()},
-                             {"after", lifted.size()}});
+      if (obs::enabled()) {
+        obs::emit("pdr_lift", {{"before", p.cube.size()},
+                               {"after", lifted.size()}});
+      }
       p.cube = std::move(lifted);
     }
     if (!p.in_init) restore_init_disjoint_concrete(p.cube, p.latches);
@@ -607,7 +609,9 @@ class PdrContext {
     if (inductive_check(cube)) {
       add_to_inf(cube);
       ++stats_.exch_consumed;
-      obs::emit("lemma_adopt", {{"as", "invariant"}, {"lits", cube.size()}});
+      if (obs::enabled()) {
+        obs::emit("lemma_adopt", {{"as", "invariant"}, {"lits", cube.size()}});
+      }
       publish(cube, LemmaGrade::kInvariant, 0);  // strength upgrade
       return Adopt::kAdopted;
     }
@@ -620,7 +624,9 @@ class PdrContext {
     if (consecution(k_ - 1, cube, nullptr, nullptr) == sat::Status::kUnsat) {
       add_blocked(cube, k_);
       ++stats_.exch_consumed;
-      obs::emit("lemma_adopt", {{"as", "frame"}, {"lits", cube.size()}});
+      if (obs::enabled()) {
+        obs::emit("lemma_adopt", {{"as", "frame"}, {"lits", cube.size()}});
+      }
       return Adopt::kAdopted;
     }
     return Adopt::kRetry;
@@ -722,10 +728,12 @@ class PdrContext {
         Cube g = generalize(s, ob.frame - 1, core);
         unsigned lvl = push_forward(g, ob.frame - 1);
         stats_.gen_dropped += s.size() - g.size();
-        obs::emit("pdr_blocked", {{"frame", ob.frame},
-                                  {"pushed_to", lvl + 1},
-                                  {"cube", s.size()},
-                                  {"generalized", g.size()}});
+        if (obs::enabled()) {
+          obs::emit("pdr_blocked", {{"frame", ob.frame},
+                                    {"pushed_to", lvl + 1},
+                                    {"cube", s.size()},
+                                    {"generalized", g.size()}});
+        }
         add_blocked(g, lvl + 1);
         // Note: no re-enqueue at a higher frame.  Keeping every node at
         // frame = K - (distance to bad) guarantees the first obligation

@@ -270,15 +270,19 @@ EngineResult check_portfolio(const aig::Aig& model, std::size_t prop,
         // Later rounds re-run the sweep *extended* (same prefix first), so
         // random-sim coverage still grows with the budget deterministically.
         unsigned sim_rounds = kSimSweepRounds << std::min(round, 10u);
-        obs::emit("member_start", {{"member", to_string(opts.members[i])},
-                                   {"round", round},
-                                   {"budget_sec", budget}});
+        if (obs::enabled()) {
+          obs::emit("member_start", {{"member", to_string(opts.members[i])},
+                                     {"round", round},
+                                     {"budget_sec", budget}});
+        }
         EngineResult r = run_member(model, prop, opts.members[i],
                                     member_options(slot++, budget),
                                     opts.sim_seed, sim_rounds);
-        obs::emit("member_done", {{"member", to_string(opts.members[i])},
-                                  {"verdict", to_string(r.verdict)},
-                                  {"seconds", r.seconds}});
+        if (obs::enabled()) {
+          obs::emit("member_done", {{"member", to_string(opts.members[i])},
+                                    {"verdict", to_string(r.verdict)},
+                                    {"seconds", r.seconds}});
+        }
         if (r.verdict != Verdict::kUnknown) {
           r.engine = std::string("portfolio/") + to_string(opts.members[i]);
           return finalize(std::move(r));
@@ -318,16 +322,20 @@ EngineResult check_portfolio(const aig::Aig& model, std::size_t prop,
       EngineOptions eo = member_options(i, budget);
       eo.cancel = &cancel;
       if (opts.active_probe != nullptr) opts.active_probe->fetch_add(1);
-      obs::emit("worker_start", {{"member", to_string(opts.members[i])},
-                                 {"slot", i},
-                                 {"budget_sec", budget}});
+      if (obs::enabled()) {
+        obs::emit("worker_start", {{"member", to_string(opts.members[i])},
+                                   {"slot", i},
+                                   {"budget_sec", budget}});
+      }
       EngineResult r = run_member(model, prop, opts.members[i], eo,
                                   opts.sim_seed, kSimSweepRounds);
       if (opts.active_probe != nullptr) opts.active_probe->fetch_sub(1);
-      obs::emit("worker_done", {{"member", to_string(opts.members[i])},
-                                {"slot", i},
-                                {"verdict", to_string(r.verdict)},
-                                {"seconds", r.seconds}});
+      if (obs::enabled()) {
+        obs::emit("worker_done", {{"member", to_string(opts.members[i])},
+                                  {"slot", i},
+                                  {"verdict", to_string(r.verdict)},
+                                  {"seconds", r.seconds}});
+      }
       std::lock_guard<std::mutex> lock(mu);
       if (r.verdict != Verdict::kUnknown) {
         if (winner < 0) {
@@ -335,8 +343,10 @@ EngineResult check_portfolio(const aig::Aig& model, std::size_t prop,
           win = std::move(r);
           cancel.store(true, std::memory_order_relaxed);
           // The winning verdict propagates cancellation to every peer.
-          obs::emit("cancel", {{"winner", to_string(opts.members[i])},
-                               {"verdict", to_string(win.verdict)}});
+          if (obs::enabled()) {
+            obs::emit("cancel", {{"winner", to_string(opts.members[i])},
+                                 {"verdict", to_string(win.verdict)}});
+          }
         }
       } else {
         last = std::move(r);
