@@ -73,7 +73,8 @@ inline void build_binary_net(sat::Solver& s, unsigned nv, unsigned seed) {
 
 /// Bounded-queue BMC unrolling to depth k (Tseitin CNF, ~2/3 binary
 /// clauses), bound target scheme.
-inline void build_bmc_queue(sat::Solver& s, cnf::Unroller& unr, unsigned k) {
+inline void build_bmc_queue(sat::Solver& /*owned by unr*/, cnf::Unroller& unr,
+                            unsigned k) {
   unr.assert_init(0);
   for (unsigned t = 0; t < k; ++t) unr.add_transition(t, t + 1);
   unr.assert_target(k, cnf::TargetScheme::kBound, 0);

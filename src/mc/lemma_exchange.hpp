@@ -124,6 +124,9 @@ class LemmaExchange {
 /// engine can instantiate lemmas incrementally by remembering how far into
 /// each bucket it has processed.
 struct LemmaFeed {
+  LemmaFeed() = default;
+  LemmaFeed(LemmaExchange* h, std::uint8_t s) : hub(h), self(s) {}
+
   LemmaExchange* hub = nullptr;
   std::uint8_t self = 0;  ///< own EngineOptions::exchange_source slot
   std::size_t cursor = 0;

@@ -69,12 +69,16 @@ enum class PortfolioMember : std::uint8_t {
 const char* to_string(PortfolioMember m);
 
 struct PortfolioOptions {
+  /// Default member list (a function, not an NSDMI initializer list: GCC 12
+  /// flags the inlined initializer_list copy with -Wmaybe-uninitialized).
+  static std::vector<PortfolioMember> default_members() {
+    return {PortfolioMember::kRandomSim, PortfolioMember::kItp,
+            PortfolioMember::kPdr, PortfolioMember::kSItpSeq,
+            PortfolioMember::kItpSeqCba};
+  }
   /// Member list.  Threaded mode starts them in order as worker slots free
   /// up; sequential mode time-slices them round-robin in order.
-  std::vector<PortfolioMember> members = {
-      PortfolioMember::kRandomSim, PortfolioMember::kItp,
-      PortfolioMember::kPdr, PortfolioMember::kSItpSeq,
-      PortfolioMember::kItpSeqCba};
+  std::vector<PortfolioMember> members = default_members();
   /// Worker threads: 0 = one per member (lists longer than max(8, hardware
   /// concurrency) are capped there), 1 = sequential round-robin scheduler,
   /// N = pool of N threads.

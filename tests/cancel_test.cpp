@@ -107,8 +107,9 @@ TEST(Cancel, MidRunCancellationIsHonoredPromptly) {
     killer.join();
     EXPECT_LT(secs, 8.0) << e.name << " did not honor mid-run cancellation";
     // A verdict is only legitimate if it landed before the token fired.
-    if (secs > 0.3)
+    if (secs > 0.3) {
       EXPECT_EQ(r.verdict, Verdict::kUnknown) << e.name;
+    }
   }
 }
 

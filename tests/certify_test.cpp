@@ -81,8 +81,8 @@ TEST_P(CertifyEngineTest, SuitePassCertificatesCheck) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Engines, CertifyEngineTest, ::testing::Range(0, 7),
-                         [](const auto& info) {
-                           std::string n = kEngines[info.param].name;
+                         [](const auto& tpinfo) {
+                           std::string n = kEngines[tpinfo.param].name;
                            for (char& c : n)
                              if (c == '-' || c == '+') c = '_';
                            return n;
@@ -193,8 +193,9 @@ TEST(Certify, PortfolioPropagatesCertificates) {
   po.time_limit_sec = 20.0;
   mc::EngineResult r = mc::check_portfolio(g, 0, po);
   ASSERT_EQ(r.verdict, mc::Verdict::kPass);
-  if (r.certificate.has_value())
+  if (r.certificate.has_value()) {
     EXPECT_TRUE(mc::check_certificate(g, 0, *r.certificate).ok);
+  }
 }
 
 }  // namespace

@@ -156,9 +156,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Range(0, 40),
                        ::testing::Values(System::kMcMillan, System::kPudlak,
                                          System::kInverseMcMillan)),
-    [](const auto& info) {
-      return sys_id(std::get<1>(info.param)) + "_s" +
-             std::to_string(std::get<0>(info.param));
+    [](const auto& tpinfo) {
+      return sys_id(std::get<1>(tpinfo.param)) + "_s" +
+             std::to_string(std::get<0>(tpinfo.param));
     });
 
 class ItpStrengthTest : public ::testing::TestWithParam<int> {};
@@ -307,9 +307,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Range(0, 4),
                        ::testing::Values(System::kMcMillan, System::kPudlak,
                                          System::kInverseMcMillan)),
-    [](const auto& info) {
-      return sys_id(std::get<1>(info.param)) + "_c" +
-             std::to_string(std::get<0>(info.param));
+    [](const auto& tpinfo) {
+      return sys_id(std::get<1>(tpinfo.param)) + "_c" +
+             std::to_string(std::get<0>(tpinfo.param));
     });
 
 }  // namespace

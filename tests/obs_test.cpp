@@ -338,10 +338,11 @@ TEST(ObsTest, SpanNestingBalancedPerThread) {
     std::vector<Iv> stack;
     for (const Iv& iv : ivs) {
       while (!stack.empty() && stack.back().e <= iv.s) stack.pop_back();
-      if (!stack.empty())
+      if (!stack.empty()) {
         ASSERT_LE(iv.e, stack.back().e)
             << "tid " << tid << ": span [" << iv.s << "," << iv.e
             << ") straddles [" << stack.back().s << "," << stack.back().e << ")";
+      }
       stack.push_back(iv);
     }
   }

@@ -124,8 +124,9 @@ TEST_P(SimRandomTest, EverySignatureMatchesReference) {
       if (sim.in_cone(v)) vals[v] = sim.word(v, w);
     }
     for (aig::Var v : g.cone({root}))
-      if (g.is_and(v))
+      if (g.is_and(v)) {
         EXPECT_EQ(g.evaluate64(aig::var_lit(v), vals), sim.word(v, w));
+      }
   }
 }
 

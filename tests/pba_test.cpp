@@ -95,8 +95,9 @@ TEST(Pba, SuiteVerdictsMatchExpected) {
                            ? mc::Verdict::kPass
                            : mc::Verdict::kFail;
     EXPECT_EQ(r.verdict, want) << inst.name;
-    if (r.verdict == mc::Verdict::kFail)
+    if (r.verdict == mc::Verdict::kFail) {
       EXPECT_TRUE(mc::trace_is_cex(inst.model, r.cex, 0)) << inst.name;
+    }
     ++solved;
   }
   EXPECT_GE(solved, 20u);  // the engine must actually solve the small suite

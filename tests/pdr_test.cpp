@@ -87,9 +87,10 @@ TEST(Pdr, SuiteAgreementWithCertificatesAndTraces) {
     } else if (inst.expected == bench::Expected::kFail) {
       ASSERT_EQ(r.verdict, Verdict::kFail) << inst.name;
       EXPECT_TRUE(trace_is_cex(inst.model, r.cex, 0)) << inst.name;
-      if (inst.fail_depth >= 0)
+      if (inst.fail_depth >= 0) {
         EXPECT_EQ(r.cex.depth(), static_cast<unsigned>(inst.fail_depth))
             << inst.name;
+      }
     }
   }
   EXPECT_GT(decided, 20u);  // the small suite should mostly be decided
@@ -219,8 +220,9 @@ TEST(Pdr, LiftCtgOnOffCrosscheck) {
         r_on.verdict == Verdict::kUnknown)
       continue;  // budget: either mode may time out, never disagree
     EXPECT_EQ(r_off.verdict, r_on.verdict) << inst.name;
-    if (r_off.verdict == Verdict::kFail)
+    if (r_off.verdict == Verdict::kFail) {
       EXPECT_EQ(r_off.cex.depth(), r_on.cex.depth()) << inst.name;
+    }
     ++compared;
   }
   EXPECT_GT(compared, 20u);

@@ -40,12 +40,15 @@ TEST(Portfolio, SequentialAndThreadedAgreeOnSuite) {
     if (rs.verdict == Verdict::kUnknown || rt.verdict == Verdict::kUnknown)
       continue;
     EXPECT_EQ(rs.verdict, rt.verdict) << inst.name;
-    if (inst.expected == bench::Expected::kPass)
+    if (inst.expected == bench::Expected::kPass) {
       EXPECT_EQ(rt.verdict, Verdict::kPass) << inst.name;
-    if (inst.expected == bench::Expected::kFail)
+    }
+    if (inst.expected == bench::Expected::kFail) {
       EXPECT_EQ(rt.verdict, Verdict::kFail) << inst.name;
-    if (rt.verdict == Verdict::kFail)
+    }
+    if (rt.verdict == Verdict::kFail) {
       EXPECT_TRUE(trace_is_cex(inst.model, rt.cex, 0)) << inst.name;
+    }
     ++compared;
     if (compared >= 12) break;  // bound the runtime; coverage, not census
   }
