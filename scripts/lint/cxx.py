@@ -1,0 +1,318 @@
+"""Lightweight C++ lexing and structure recovery for itpseq-lint.
+
+Stdlib-only (like scripts/check_trace.py): no libclang.  The linter does not
+need full C++ semantics — the project rules are about *token shapes inside
+known idioms* (a `Cls` view crossing an allocating call, a range-for over an
+occurrence list, an un-gated `obs::emit`).  What this module provides:
+
+  * tokenize(text)          -> [Tok]           comments/strings collapsed,
+                                               line/col preserved
+  * match_brackets(tokens)  -> {i: j}          (), {}, [] pairing
+  * extract_functions(...)  -> [Func]          name-qualified bodies, incl.
+                                               class methods; lambdas stay
+                                               part of their enclosing body
+  * suppressions(text)      -> {line: set(rule)|{'*'}}
+  * fixture metadata        -> pretend path + expected findings (selftest)
+
+Suppression syntax (one finding class, one line, with a reason):
+
+    do_risky_thing();  // itpseq-lint: allow(L4) reason why this is sound
+
+A suppression comment on its own line applies to the next code line.
+`allow(*)` suppresses every rule (reserved for generated code).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Tok:
+    kind: str  # 'id' | 'num' | 'str' | 'char' | 'punct' | 'pp'
+    text: str
+    line: int
+    col: int
+    i: int = -1  # index in the token list (filled by tokenize)
+
+
+_TOKEN_RE = re.compile(
+    r"""
+      (?P<ws>[ \t\r]+)
+    | (?P<nl>\n)
+    | (?P<lcomment>//[^\n]*)
+    | (?P<bcomment>/\*.*?\*/)
+    | (?P<rawstr>R"(?P<delim>[^()\s\\]*)\(.*?\)(?P=delim)")
+    | (?P<str>"(?:[^"\\\n]|\\.)*")
+    | (?P<char>'(?:[^'\\\n]|\\.)*')
+    | (?P<num>\.?[0-9](?:[0-9a-zA-Z_.']|[eEpP][+-])*)
+    | (?P<id>[A-Za-z_]\w*)
+    | (?P<punct>::|->\*?|\+\+|--|<<=|>>=|<<|>>|<=|>=|==|!=|&&|\|\||\+=|-=|\*=|/=|%=|&=|\|=|\^=|\.\.\.
+        |[-+*/%&|^!~<>=?:;,.(){}\[\]\\#@$`])
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+def tokenize(text: str):
+    """Lex `text` into Toks.  Preprocessor directives become one 'pp' token
+    carrying the whole (continuation-joined) directive text."""
+    toks = []
+    line, col = 1, 1
+    pos = 0
+    at_line_start = True
+    n = len(text)
+    while pos < n:
+        m = _TOKEN_RE.match(text, pos)
+        if not m:  # unknown byte: skip it
+            if text[pos] == "\n":
+                line += 1
+                col = 1
+                at_line_start = True
+            else:
+                col += 1
+            pos += 1
+            continue
+        kind = m.lastgroup
+        s = m.group(0)
+        if kind == "delim":  # inner group of rawstr
+            kind = "rawstr"
+        if kind == "punct" and s == "#" and at_line_start:
+            # Preprocessor directive: consume to the first newline not
+            # preceded by a backslash continuation.
+            end = pos
+            while end < n:
+                nl = text.find("\n", end)
+                if nl == -1:
+                    nl = n
+                if nl > pos and text[nl - 1] == "\\":
+                    end = nl + 1
+                    continue
+                end = nl
+                break
+            directive = text[pos:end]
+            toks.append(Tok("pp", directive, line, col))
+            line += directive.count("\n")
+            pos = end
+            col = 1
+            at_line_start = True
+            continue
+        nlines = s.count("\n")
+        if kind in ("ws", "lcomment"):
+            col += len(s)
+        elif kind == "nl":
+            line += 1
+            col = 1
+            at_line_start = True
+        elif kind == "bcomment":
+            if nlines:
+                line += nlines
+                col = len(s) - s.rfind("\n")
+            else:
+                col += len(s)
+        else:
+            if kind in ("str", "rawstr"):
+                tok_kind = "str"
+            elif kind == "char":
+                tok_kind = "char"
+            else:
+                tok_kind = kind
+            toks.append(Tok(tok_kind, s, line, col))
+            at_line_start = False
+            if nlines:
+                line += nlines
+                col = len(s) - s.rfind("\n")
+            else:
+                col += len(s)
+        pos = m.end()
+    for i, t in enumerate(toks):
+        t.i = i
+    return toks
+
+
+_OPEN = {"(": ")", "{": "}", "[": "]"}
+_CLOSE = {")": "(", "}": "{", "]": "["}
+
+
+def match_brackets(toks):
+    """Map token index of each opening bracket to its closer and back.
+    Unbalanced input (never the case for compiling C++) degrades softly."""
+    match = {}
+    stack = []
+    for t in toks:
+        if t.kind != "punct":
+            continue
+        if t.text in _OPEN:
+            stack.append(t)
+        elif t.text in _CLOSE:
+            while stack:
+                o = stack.pop()
+                if o.text == _CLOSE[t.text]:
+                    match[o.i] = t.i
+                    match[t.i] = o.i
+                    break
+    return match
+
+
+_NOT_FUNC_NAMES = {
+    "if", "for", "while", "switch", "catch", "return", "sizeof", "alignof",
+    "decltype", "noexcept", "static_assert", "new", "delete", "throw",
+    "assert", "defined", "alignas", "co_await", "co_return", "co_yield",
+}
+
+
+@dataclass
+class Func:
+    name: str          # qualified as written: "Solver::alloc_clause"
+    simple: str        # last component: "alloc_clause"
+    params_open: int   # token index of the parameter-list '('
+    params_close: int
+    body_open: int     # token index of '{'
+    body_close: int
+    line: int
+
+
+def extract_functions(toks, match):
+    """Find function definitions: NAME ( params ) [cv/ref/noexcept/ctor-init/
+    trailing-return...] { body }.  Lambdas (no name) and control-flow
+    parentheses are skipped; nested local structs' methods are found too
+    (harmless).  Bodies may overlap only through nested class definitions."""
+    funcs = []
+    n = len(toks)
+    i = 0
+    while i < n:
+        t = toks[i]
+        if t.kind == "punct" and t.text == "(" and t.i in match:
+            close = match[t.i]
+            # Name: walk backwards following the  id (:: [~] id)*  grammar
+            # (NOT "all adjacent ids" — that would glue the return type onto
+            # the name: `EngineResult check_bmc(` names `check_bmc`).
+            j = i - 1
+            parts = []
+            if j >= 0 and toks[j].kind == "id":
+                parts.append(toks[j].text)
+                j -= 1
+                if j >= 0 and toks[j].kind == "punct" and toks[j].text == "~":
+                    parts.append("~")
+                    j -= 1
+                while j >= 0 and toks[j].kind == "punct" and toks[j].text == "::":
+                    parts.append("::")
+                    j -= 1
+                    if j >= 0 and toks[j].kind == "punct" and toks[j].text == ">":
+                        # template args in a qualified name: skip backwards
+                        depth = 1
+                        j -= 1
+                        while j >= 0 and depth:
+                            if toks[j].kind == "punct":
+                                if toks[j].text == ">":
+                                    depth += 1
+                                elif toks[j].text == "<":
+                                    depth -= 1
+                            j -= 1
+                    if j >= 0 and toks[j].kind == "id":
+                        parts.append(toks[j].text)
+                        j -= 1
+                    else:
+                        break
+            if not parts or parts[-1] in _NOT_FUNC_NAMES or parts[0] in _NOT_FUNC_NAMES:
+                i += 1
+                continue
+            name = "".join(reversed(parts))
+            simple = name.rsplit("::", 1)[-1]
+            if simple in _NOT_FUNC_NAMES:
+                i += 1
+                continue
+            # Scan forward from ')' for '{' allowing only tokens that can sit
+            # between a parameter list and its body (cv/ref qualifiers,
+            # noexcept(...), trailing return types, ctor-init lists).
+            # Anything else — a closing bracket, an operator, a literal —
+            # means this '(' was a *call* inside some expression (e.g. in an
+            # `if` condition whose block follows), not a definition.
+            _BETWEEN_OK = {"::", "<", ">", ",", ":", "->", "&", "&&", "*",
+                           "..."}
+            k = close + 1
+            body_open = None
+            seen_eq = False
+            while k < n:
+                tk = toks[k]
+                if tk.kind == "punct":
+                    if tk.text == "{":
+                        body_open = k
+                        break
+                    if tk.text == ";":
+                        break
+                    if tk.text in ("(", "["):
+                        if tk.i not in match:
+                            break
+                        k = match[tk.i]  # noexcept(...), attributes, arrays
+                    elif tk.text == "=":
+                        # `= default/delete/0;` or an initializer: only a
+                        # pure-virtual/defaulted marker may precede more
+                        # tokens; treat anything after '=' as non-definition
+                        # unless it is `default`/`delete` (then ';' ends it).
+                        seen_eq = True
+                    elif tk.text not in _BETWEEN_OK:
+                        break
+                elif tk.kind in ("str", "char"):
+                    break
+                elif tk.kind == "pp":
+                    break
+                elif tk.kind == "id" and seen_eq:
+                    break
+                k += 1
+            if body_open is not None and body_open in match:
+                funcs.append(
+                    Func(name, simple, t.i, close, body_open, match[body_open],
+                         t.line))
+                # continue scanning *inside* the body too (nested classes)
+            i += 1
+        else:
+            i += 1
+    return funcs
+
+
+_SUPPRESS_RE = re.compile(r"itpseq-lint:\s*allow\(([^)]*)\)")
+_COMMENT_RE = re.compile(r"//[^\n]*|/\*.*?\*/", re.DOTALL)
+
+
+def suppressions(text: str):
+    """Map line -> set of suppressed rule ids ({'*'} = all).  A comment with
+    code before it on the line covers that line; a comment alone on its line
+    covers the next line (and its own)."""
+    sup = {}
+    for m in _COMMENT_RE.finditer(text):
+        for sm in _SUPPRESS_RE.finditer(m.group(0)):
+            rules = {r.strip() for r in sm.group(1).split(",") if r.strip()}
+            line = text.count("\n", 0, m.start()) + 1
+            line_start = text.rfind("\n", 0, m.start()) + 1
+            before = text[line_start:m.start()]
+            sup.setdefault(line, set()).update(rules)
+            if not before.strip():  # standalone comment: covers next line
+                nlines = m.group(0).count("\n")
+                sup.setdefault(line + nlines + 1, set()).update(rules)
+    return sup
+
+
+_FIXTURE_PATH_RE = re.compile(r"lint-fixture-path:\s*(\S+)")
+_EXPECT_RE = re.compile(r"lint-expect:\s*([A-Z0-9]+(?:\s*,\s*[A-Z0-9]+)*)")
+
+
+def fixture_path(text: str):
+    m = _FIXTURE_PATH_RE.search(text)
+    return m.group(1) if m else None
+
+
+def expected_findings(text: str):
+    """[(line, rule)] parsed from `// lint-expect: L1` comments (the line the
+    comment sits on, or the next line for standalone comments)."""
+    out = []
+    for m in _COMMENT_RE.finditer(text):
+        for em in _EXPECT_RE.finditer(m.group(0)):
+            line = text.count("\n", 0, m.start()) + 1
+            line_start = text.rfind("\n", 0, m.start()) + 1
+            if not text[line_start:m.start()].strip():
+                line += m.group(0).count("\n") + 1
+            for rule in em.group(1).split(","):
+                out.append((line, rule.strip()))
+    return sorted(out)

@@ -1,0 +1,19 @@
+"""Finding record shared by every itpseq-lint rule."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Finding:
+    rule: str   # "L1".."L5"
+    path: str   # effective (fixture-pretend or repo-relative) path
+    line: int
+    msg: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.msg}"
+
+    def key(self):
+        return (self.path, self.line, self.rule, self.msg)

@@ -1,0 +1,78 @@
+// lint-fixture-path: src/sat/lint_fixture_l1.cpp
+//
+// L1 seeded violations: Cls / arena-pointer views read after a possibly
+// allocating call (direct, transitive through the call-graph fixpoint, and
+// the loop back edge).  The negatives are the established safe idioms —
+// re-fetch after the allocation, a terminating branch, a by-value snapshot
+// — and must stay finding-free.
+
+#include "sat/solver.hpp"
+
+namespace itpseq::sat {
+
+struct Fixture {
+  std::vector<std::uint32_t> arena_;
+  std::vector<int> items;
+
+  // Seeds the allocator fixpoint: a direct capacity-changing arena_ op.
+  void grow() { arena_.push_back(0u); }
+
+  // Reaches grow() through one call edge; the fixpoint must close over it.
+  void grow_indirect() { grow(); }
+
+  std::uint32_t direct_kill(CRef cr) {
+    Cls c = cls(cr);
+    arena_.push_back(1u);
+    return c.size();  // lint-expect: L1
+  }
+
+  std::uint32_t transitive_kill(CRef cr) {
+    Cls d = cls(cr);
+    grow_indirect();
+    return d.size();  // lint-expect: L1
+  }
+
+  std::uint32_t loop_backedge(CRef cr) {
+    std::uint32_t acc = 0;
+    Cls e = cls(cr);
+    for (int i = 0; i < 4; ++i) {
+      acc += e.size();  // lint-expect: L1
+      grow();
+    }
+    return acc;
+  }
+
+  std::uint32_t pointer_view(CRef cr) {
+    const std::uint32_t* base = arena_.data() + cr;
+    grow();
+    return base[0];  // lint-expect: L1
+  }
+
+  // ---- negatives ----------------------------------------------------------
+
+  std::uint32_t refetch_is_clean(CRef cr) {
+    Cls f = cls(cr);
+    grow();
+    f = cls(cr);
+    return f.size();
+  }
+
+  std::uint32_t terminating_branch_is_clean(CRef cr, bool flag) {
+    Cls g = cls(cr);
+    if (flag) {
+      grow();
+      return 0u;
+    }
+    return g.size();
+  }
+
+  int snapshot_is_clean() {
+    std::vector<int> copy = items;
+    grow();
+    int acc = 0;
+    for (int v : copy) acc += v;
+    return acc;
+  }
+};
+
+}  // namespace itpseq::sat

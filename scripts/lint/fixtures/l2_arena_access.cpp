@@ -1,0 +1,22 @@
+// lint-fixture-path: src/mc/lint_fixture_l2.cpp
+//
+// L2 seeded violations: raw clause-arena access outside src/sat/.  Any
+// `arena_` token in an mc-layer file is a finding; look-alike identifiers
+// (`arena`, `arena_size`) are not the banned name and must stay clean.
+
+namespace itpseq::mc {
+
+struct LayoutPeeker {
+  int arena;        // a different identifier: clean
+  int arena_size;   // not the banned token either: clean
+
+  unsigned peek_header(unsigned cr) {
+    return arena_[cr];  // lint-expect: L2
+  }
+
+  void poke_flags(unsigned cr, unsigned bit) {
+    arena_[cr] |= bit;  // lint-expect: L2
+  }
+};
+
+}  // namespace itpseq::mc

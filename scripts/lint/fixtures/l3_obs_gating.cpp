@@ -1,0 +1,49 @@
+// lint-fixture-path: src/mc/lint_fixture_l3.cpp
+//
+// L3 seeded violations: an un-gated obs::emit (arguments evaluated even
+// with tracing off) and an allocating expression in an obs::Span label.
+// The negatives are the three accepted gate shapes plus a literal label.
+
+#include "obs/trace.hpp"
+
+namespace itpseq::mc {
+
+struct Emitter {
+  int hits = 0;
+
+  void ungated(int n) {
+    obs::emit("fixture", "event", n);  // lint-expect: L3
+  }
+
+  void span_alloc_label(int n) {
+    obs::Span sp("fixture", std::to_string(n));  // lint-expect: L3
+    ++hits;
+  }
+
+  // ---- negatives ----------------------------------------------------------
+
+  void direct_gate(int n) {
+    if (obs::enabled()) {
+      obs::emit("fixture", "event", n);
+    }
+  }
+
+  void bool_gate(int n) {
+    const bool traced = obs::enabled();
+    if (traced) {
+      obs::emit("fixture", "event", n);
+    }
+  }
+
+  void prologue_gate(int n) {
+    if (!obs::enabled()) return;
+    obs::emit("fixture", "event", n);
+  }
+
+  void span_literal_label() {
+    obs::Span sp("fixture", "literal");
+    ++hits;
+  }
+};
+
+}  // namespace itpseq::mc

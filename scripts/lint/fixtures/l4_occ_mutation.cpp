@@ -1,0 +1,45 @@
+// lint-fixture-path: src/sat/lint_fixture_l4.cpp
+//
+// L4 seeded violations: the PR 7 bug class — an occurrence list mutated
+// (directly, and transitively through the mutator fixpoint) inside a
+// range-for over itself.  The negatives are the snapshot-first idiom and a
+// same-named container on a *different* receiver.
+
+namespace itpseq::sat {
+
+struct Occs {
+  std::vector<std::vector<std::size_t>> occ_;
+  std::vector<int> inputs_;
+
+  // Seeds the mutator fixpoint: attach() mutates occ_.
+  void attach(std::size_t c) { occ_.push_back({c}); }
+
+  void direct_mutation(int l) {
+    for (std::size_t idx : occ_[l]) {
+      occ_[l].push_back(idx);  // lint-expect: L4
+    }
+  }
+
+  void transitive_mutation(int l) {
+    for (std::size_t idx : occ_[l]) {
+      attach(idx);  // lint-expect: L4
+    }
+  }
+
+  // ---- negatives ----------------------------------------------------------
+
+  void snapshot_is_clean(int l) {
+    const std::vector<std::size_t> snap = occ_[l];
+    for (std::size_t idx : snap) {
+      attach(idx);
+    }
+  }
+
+  void other_receiver_is_clean(Occs& out) {
+    for (int v : inputs_) {
+      out.inputs_.push_back(v);
+    }
+  }
+};
+
+}  // namespace itpseq::sat

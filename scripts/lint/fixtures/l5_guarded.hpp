@@ -1,0 +1,9 @@
+// lint-fixture-path: src/util/lint_fixture_guarded.hpp
+//
+// Negative fixture: a properly guarded header has zero findings.
+
+#pragma once
+
+namespace itpseq {
+int lint_fixture_guarded_probe();
+}  // namespace itpseq

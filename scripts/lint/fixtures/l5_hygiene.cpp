@@ -1,0 +1,37 @@
+// lint-fixture-path: src/sat/lint_fixture_l5.cpp
+//
+// L5 seeded violations: nondeterminism sources (rand/srand/time), iostream
+// in the SAT hot path, and a parent-relative include.  The negatives are
+// member calls that merely *share* the banned names.
+
+#include <iostream>          // lint-expect: L5
+#include "../mc/engine.hpp"  // lint-expect: L5
+#include <vector>
+
+namespace itpseq::sat {
+
+int entropy() {
+  int a = rand();                 // lint-expect: L5
+  srand(7u);                      // lint-expect: L5
+  long t = time(nullptr);         // lint-expect: L5
+  return a + static_cast<int>(t);
+}
+
+void print_state(int n) {
+  std::cout << n;  // lint-expect: L5
+  std::cerr << n;  // lint-expect: L5
+}
+
+// ---- negatives ------------------------------------------------------------
+
+template <class Rng>
+int member_rand_is_clean(Rng& gen) {
+  return static_cast<int>(gen.rand());
+}
+
+template <class Clock>
+long member_time_is_clean(Clock& clk) {
+  return clk.time(nullptr);
+}
+
+}  // namespace itpseq::sat

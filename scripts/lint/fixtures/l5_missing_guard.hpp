@@ -1,0 +1,6 @@
+// lint-fixture-path: src/util/lint_fixture_guard.hpp
+//
+// L5 seeded violation: a header without `#pragma once` (or a classic
+// include guard).  The finding lands on the first token of the file.
+
+namespace itpseq { int lint_fixture_guard_probe(); }  // lint-expect: L5

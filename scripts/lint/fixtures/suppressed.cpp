@@ -1,0 +1,18 @@
+// lint-fixture-path: src/mc/lint_fixture_suppressed.cpp
+//
+// Suppression semantics: a same-line `itpseq-lint: allow(RULE) reason`
+// comment and a standalone comment covering exactly the next line both
+// silence the finding; the line *after* a standalone suppression is NOT
+// covered and must still fire.
+
+namespace itpseq::mc {
+
+int suppression_demo() {
+  int x = arena_[0];  // itpseq-lint: allow(L2) fixture: same-line suppression
+  // itpseq-lint: allow(L2) fixture: standalone comment covers the next line
+  int y = arena_[1];
+  int z = arena_[2];  // lint-expect: L2
+  return x + y + z;
+}
+
+}  // namespace itpseq::mc

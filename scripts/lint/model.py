@@ -1,0 +1,183 @@
+"""Project-wide model for itpseq-lint: parsed files, the call graph, the
+arena-allocator set and the member-mutator sets.
+
+Two fixpoints drive the interesting rules:
+
+  * allocators(): the set of functions that may (transitively) allocate in
+    the clause arena.  Seeds are functions whose body performs a capacity-
+    changing operation on `arena_` (push_back / insert / resize / swap /
+    ...); the closure adds every function that calls — by simple name — a
+    function already in the set.  Name-based linking over one project is
+    deliberate: it over-approximates (safe direction for a linter) and
+    needs no type information.
+
+  * mutators(): per function, the set of member-container *root names* it
+    may (transitively) mutate, where "mutate" is a capacity-changing method
+    call rooted at that name (`occ_[l].push_back(...)`, `db_.erase(...)`,
+    `rec.clauses.clear()` roots `occ_`, `db_`, `clauses`).  Rule L4 uses
+    this to catch mutation of a list while a range-for iterates it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from cxx import Func, Tok, extract_functions, match_brackets, suppressions, tokenize
+
+# Capacity-changing container methods: calling one of these through a name
+# may reallocate the buffer behind every outstanding reference/iterator.
+MUTATING_METHODS = {
+    "push_back", "emplace_back", "pop_back", "insert", "emplace", "erase",
+    "clear", "resize", "reserve", "assign", "swap", "shrink_to_fit",
+    "append", "push_front", "pop_front",
+}
+
+CONTROL_KEYWORDS = {
+    "if", "for", "while", "switch", "return", "sizeof", "alignof", "catch",
+    "decltype", "noexcept", "static_assert", "new", "delete", "throw",
+    "assert", "static_cast", "const_cast", "reinterpret_cast",
+    "dynamic_cast", "alignas", "defined", "do", "else", "case",
+}
+
+
+@dataclass
+class SourceFile:
+    path: str       # repo-relative path the rules see (fixtures may pretend)
+    text: str
+    toks: list
+    match: dict
+    funcs: list
+    sup: dict       # line -> suppressed rule ids
+
+    def body_tokens(self, fn: Func):
+        return self.toks[fn.body_open + 1: fn.body_close]
+
+
+def parse_source(path: str, text: str) -> SourceFile:
+    toks = tokenize(text)
+    match = match_brackets(toks)
+    funcs = extract_functions(toks, match)
+    return SourceFile(path, text, toks, match, funcs, suppressions(text))
+
+
+def _callees(sf: SourceFile, fn: Func):
+    """Simple names of functions called in fn's body: `name (` shapes that
+    are not control keywords, declarations or member-method mutations (those
+    are modeled separately)."""
+    out = set()
+    toks = sf.toks
+    for t in sf.body_tokens(fn):
+        if t.kind != "id" or t.text in CONTROL_KEYWORDS:
+            continue
+        nxt = toks[t.i + 1] if t.i + 1 < len(toks) else None
+        if nxt is None or nxt.kind != "punct" or nxt.text != "(":
+            continue
+        out.add(t.text)
+    return out
+
+
+def _arena_alloc_seed(sf: SourceFile, fn: Func, arena_names) -> bool:
+    """Does fn's own body do a capacity-changing operation on an arena
+    member (default `arena_`)?"""
+    toks = sf.toks
+    for t in sf.body_tokens(fn):
+        if t.kind == "id" and t.text in arena_names:
+            j = t.i + 1
+            if j < len(toks) and toks[j].kind == "punct" and toks[j].text == ".":
+                k = j + 1
+                if (k < len(toks) and toks[k].kind == "id"
+                        and toks[k].text in MUTATING_METHODS):
+                    return True
+    return False
+
+
+def _member_mutations(sf: SourceFile, fn: Func):
+    """Root names of container members fn's own body mutates.  Shapes:
+    ROOT.mut(...)  and  ROOT[...].mut(...)  — ROOT is the identifier right
+    before the '.' or the '['."""
+    out = set()
+    toks = sf.toks
+    n = len(toks)
+    for t in sf.body_tokens(fn):
+        if t.kind != "id" or t.text in MUTATING_METHODS:
+            continue
+        j = t.i + 1
+        if j < n and toks[j].kind == "punct" and toks[j].text == "[":
+            j = sf.match.get(j)
+            if j is None:
+                continue
+            j += 1
+        if not (j < n and toks[j].kind == "punct" and toks[j].text == "."):
+            continue
+        k = j + 1
+        if (k + 1 < n and toks[k].kind == "id"
+                and toks[k].text in MUTATING_METHODS
+                and toks[k + 1].kind == "punct" and toks[k + 1].text == "("):
+            out.add(t.text)
+    return out
+
+
+class Project:
+    """All parsed files plus the two fixpoints (computed lazily once)."""
+
+    def __init__(self, files):
+        self.files = files  # [SourceFile]
+        self._alloc = None
+        self._mut = None
+        self._calls = None
+
+    def _call_graph(self):
+        if self._calls is None:
+            self._calls = {}
+            for sf in self.files:
+                for fn in sf.funcs:
+                    self._calls.setdefault(fn.simple, set()).update(
+                        _callees(sf, fn))
+        return self._calls
+
+    def allocators(self, arena_names=("arena_",)):
+        """Simple names of functions that may transitively reallocate the
+        arena.  See module docstring."""
+        if self._alloc is not None:
+            return self._alloc
+        seeds = set()
+        for sf in self.files:
+            for fn in sf.funcs:
+                if _arena_alloc_seed(sf, fn, set(arena_names)):
+                    seeds.add(fn.simple)
+        calls = self._call_graph()
+        alloc = set(seeds)
+        changed = True
+        while changed:
+            changed = False
+            for caller, callees in calls.items():
+                if caller not in alloc and callees & alloc:
+                    alloc.add(caller)
+                    changed = True
+        self._alloc = alloc
+        return alloc
+
+    def mutators(self):
+        """fn simple name -> set of member-container roots it may mutate
+        (transitive over same-project calls)."""
+        if self._mut is not None:
+            return self._mut
+        mut = {}
+        for sf in self.files:
+            for fn in sf.funcs:
+                mut.setdefault(fn.simple, set()).update(
+                    _member_mutations(sf, fn))
+        calls = self._call_graph()
+        changed = True
+        while changed:
+            changed = False
+            for caller, callees in calls.items():
+                roots = mut.setdefault(caller, set())
+                before = len(roots)
+                for c in callees:
+                    if c in mut and c != caller:
+                        roots |= mut[c]
+                if len(roots) != before:
+                    changed = True
+        self._mut = mut
+        return mut

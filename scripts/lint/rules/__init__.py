@@ -1,0 +1,18 @@
+"""itpseq-lint rule registry.  Each rule module exposes RULE (the id),
+DESCRIPTION, applies(path) and check(project, source_file)."""
+
+from rules import (  # noqa: F401
+    l1_stale_views,
+    l2_arena_encapsulation,
+    l3_obs_gating,
+    l4_occ_iteration,
+    l5_hygiene,
+)
+
+ALL_RULES = [
+    l1_stale_views,
+    l2_arena_encapsulation,
+    l3_obs_gating,
+    l4_occ_iteration,
+    l5_hygiene,
+]

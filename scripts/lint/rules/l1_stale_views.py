@@ -1,0 +1,326 @@
+"""L1 — clause view held live across an arena-allocating call.
+
+`Cls` (src/sat/solver.hpp) and any raw pointer derived from `arena_` are
+*transient views* into the flat clause arena: any allocation may grow (and
+therefore move) the backing buffer, and GC compacts it.  The PR 5 contract
+is "re-fetch with cls() after anything that can allocate".  This rule
+enforces it statically:
+
+  * view variables are Cls locals/params, `auto v = cls(...)` results, and
+    pointers initialized from `arena_`/`cls(...)`/another view;
+  * an *allocating call* is a call to any function in the project-wide
+    allocator set (fixpoint over the call graph seeded by direct
+    capacity-changing `arena_.*` operations — see model.Project), or such
+    a direct operation itself;
+  * a read of a view after an allocating call is a finding, unless the
+    view was re-assigned (`v = cls(...)`) in between;
+  * loop bodies are simulated twice, so a view fetched before (or at the
+    top of) a loop that allocates is caught on the back edge — the
+    classic shape of this bug class;
+  * an `if` block whose last statement is return/break/continue/throw
+    does not leak its invalidations past the block.
+
+The analysis names the killing call in the message so the fix is obvious.
+"""
+
+from __future__ import annotations
+
+from findings import Finding
+from model import MUTATING_METHODS, Project, SourceFile
+
+RULE = "L1"
+DESCRIPTION = "Cls/arena view read after a possibly-allocating call"
+
+_VIEW_TYPES = {"Cls"}
+_SKIP_DECL = {"&", "*", "const"}
+_TERMINATORS = {"return", "break", "continue", "throw", "goto"}
+
+
+def applies(path: str) -> bool:
+    return path.startswith("src/sat/")
+
+
+def check(project: Project, sf: SourceFile):
+    alloc = project.allocators()
+    out = []
+    for fn in sf.funcs:
+        out.extend(_check_fn(sf, fn, alloc))
+    return out
+
+
+class _View:
+    __slots__ = ("line", "valid", "killer")
+
+    def __init__(self, line):
+        self.line = line
+        self.valid = True
+        self.killer = None  # (what, line) that invalidated it
+
+    def copy(self):
+        v = _View(self.line)
+        v.valid = self.valid
+        v.killer = self.killer
+        return v
+
+
+def _check_fn(sf, fn, alloc):
+    findings = []
+    views = {}
+    _scan_params(sf, fn, views)
+    _sim(sf, fn, fn.body_open + 1, fn.body_close, views, findings, alloc)
+    return findings
+
+
+def _scan_params(sf, fn, views):
+    toks = sf.toks
+    i = fn.params_open + 1
+    while i < fn.params_close:
+        t = toks[i]
+        if t.kind == "id" and t.text in _VIEW_TYPES:
+            j = i + 1
+            while j < fn.params_close and toks[j].text in _SKIP_DECL:
+                j += 1
+            if j < fn.params_close and toks[j].kind == "id":
+                views[toks[j].text] = _View(toks[j].line)
+                i = j
+        i += 1
+
+
+def _find_semi(sf, lo, hi):
+    """Index of the next top-level ';' in [lo, hi), skipping bracket groups.
+    Returns hi if none."""
+    toks = sf.toks
+    i = lo
+    while i < hi:
+        t = toks[i]
+        if t.kind == "punct":
+            if t.text == ";":
+                return i
+            if t.text in ("(", "{", "["):
+                i = sf.match.get(t.i, i)
+        i += 1
+    return hi
+
+
+def _stmt_range(sf, start, hi):
+    """Statement beginning at `start`: (lo, hi_excl, next_i).  A `{...}`
+    block yields its interior; anything else runs to its ';'."""
+    toks = sf.toks
+    i = start
+    while i < hi and toks[i].kind == "pp":
+        i += 1
+    if i >= hi:
+        return (hi, hi, hi)
+    if toks[i].kind == "punct" and toks[i].text == "{":
+        close = sf.match.get(toks[i].i, hi)
+        return (i + 1, close, close + 1)
+    semi = _find_semi(sf, i, hi)
+    return (i, semi + 1, semi + 1)
+
+
+def _terminates(sf, lo, hi):
+    """True if the last top-level statement in [lo, hi) starts with
+    return/break/continue/throw/goto."""
+    toks = sf.toks
+    i = lo
+    first = None   # first token of the current statement
+    last_first = None
+    while i < hi:
+        t = toks[i]
+        if first is None and t.kind != "pp":
+            first = t
+        if t.kind == "punct":
+            if t.text in ("(", "{", "["):
+                close = sf.match.get(t.i)
+                if close is None or close >= hi:
+                    break
+                i = close
+                if t.text == "{":
+                    last_first = first
+                    first = None
+            elif t.text == ";":
+                last_first = first
+                first = None
+        i += 1
+    return (last_first is not None and last_first.kind == "id"
+            and last_first.text in _TERMINATORS)
+
+
+def _init_is_view(sf, lo, hi, views):
+    """Does the initializer expression in [lo, hi) produce an arena view?"""
+    toks = sf.toks
+    for i in range(lo, hi):
+        t = toks[i]
+        if t.kind != "id":
+            continue
+        if t.text == "arena_":
+            return True
+        if t.text == "cls" and i + 1 < hi and toks[i + 1].text == "(":
+            return True
+        if t.text in views:
+            return True
+    return False
+
+
+def _sim(sf, fn, lo, hi, views, findings, alloc):
+    """Simulate [lo, hi) updating `views`; loops run twice (back edge)."""
+    toks = sf.toks
+    i = lo
+    while i < hi:
+        t = toks[i]
+        if t.kind == "id" and t.text in ("for", "while"):
+            j = i + 1
+            if j < hi and toks[j].kind == "punct" and toks[j].text == "(":
+                close = sf.match.get(toks[j].i)
+                if close is None or close >= hi:
+                    i += 1
+                    continue
+                blo, bhi, nxt = _stmt_range(sf, close + 1, hi)
+                for _ in range(2):  # second pass models the back edge
+                    _linear(sf, fn, j + 1, close, views, findings, alloc)
+                    _sim(sf, fn, blo, bhi, views, findings, alloc)
+                i = nxt
+                continue
+            i += 1
+        elif t.kind == "id" and t.text == "do":
+            blo, bhi, nxt = _stmt_range(sf, i + 1, hi)
+            for _ in range(2):
+                _sim(sf, fn, blo, bhi, views, findings, alloc)
+            i = nxt
+        elif t.kind == "id" and t.text == "if":
+            j = i + 1
+            if j < hi and toks[j].kind == "punct" and toks[j].text == "(":
+                close = sf.match.get(toks[j].i)
+                if close is None or close >= hi:
+                    i += 1
+                    continue
+                _linear(sf, fn, j + 1, close, views, findings, alloc)
+                blo, bhi, nxt = _stmt_range(sf, close + 1, hi)
+                snap = {k: v.copy() for k, v in views.items()}
+                _sim(sf, fn, blo, bhi, views, findings, alloc)
+                if _terminates(sf, blo, bhi):
+                    views.clear()
+                    views.update(snap)  # the branch exits; state doesn't leak
+                i = nxt
+                continue
+            i += 1
+        elif t.kind == "id" and t.text == "else":
+            i += 1
+        elif t.kind == "punct" and t.text == "{":
+            close = sf.match.get(t.i)
+            if close is None or close > hi:
+                i += 1
+                continue
+            _sim(sf, fn, t.i + 1, close, views, findings, alloc)
+            i = close + 1
+        else:
+            i = _linear_step(sf, fn, i, hi, views, findings, alloc)
+
+
+def _linear(sf, fn, lo, hi, views, findings, alloc):
+    i = lo
+    while i < hi:
+        i = _linear_step(sf, fn, i, hi, views, findings, alloc)
+
+
+def _linear_step(sf, fn, i, hi, views, findings, alloc):
+    toks = sf.toks
+    t = toks[i]
+    if t.kind != "id":
+        return i + 1
+
+    nxt = toks[i + 1] if i + 1 < len(toks) else None
+
+    # --- declarations -------------------------------------------------------
+    if t.text in _VIEW_TYPES:
+        j = i + 1
+        while j < hi and toks[j].kind == "punct" and toks[j].text in _SKIP_DECL:
+            j += 1
+        while j < hi and toks[j].kind == "id" and toks[j].text == "const":
+            j += 1
+        if j < hi and toks[j].kind == "id":
+            name = toks[j].text
+            k = j + 1
+            if k < hi and toks[k].kind == "punct" and toks[k].text == "=":
+                semi = _find_semi(sf, k + 1, hi)
+                _linear(sf, fn, k + 1, semi, views, findings, alloc)
+                views[name] = _View(toks[j].line)
+                return semi + 1
+            views[name] = _View(toks[j].line)
+            return j + 1
+        return i + 1
+
+    if t.text == "auto":
+        j = i + 1
+        while j < hi and ((toks[j].kind == "punct" and toks[j].text in _SKIP_DECL)
+                          or (toks[j].kind == "id" and toks[j].text == "const")):
+            j += 1
+        if (j + 1 < hi and toks[j].kind == "id"
+                and toks[j + 1].kind == "punct" and toks[j + 1].text == "="):
+            name = toks[j].text
+            semi = _find_semi(sf, j + 2, hi)
+            if _init_is_view(sf, j + 2, semi, views):
+                _linear(sf, fn, j + 2, semi, views, findings, alloc)
+                views[name] = _View(toks[j].line)
+                return semi + 1
+        return i + 1
+
+    # pointer decl:  TYPE* [const] NAME = <init involving arena_/view>;
+    if (nxt is not None and nxt.kind == "punct" and nxt.text == "="
+            and t.text not in views):
+        p = i - 1
+        while p >= 0 and toks[p].kind == "id" and toks[p].text == "const":
+            p -= 1
+        if p >= 0 and toks[p].kind == "punct" and toks[p].text == "*":
+            semi = _find_semi(sf, i + 2, hi)
+            if _init_is_view(sf, i + 2, semi, views):
+                _linear(sf, fn, i + 2, semi, views, findings, alloc)
+                views[t.text] = _View(t.line)
+                return semi + 1
+        return i + 1
+
+    # --- re-assignment of a tracked view ------------------------------------
+    if (t.text in views and nxt is not None and nxt.kind == "punct"
+            and nxt.text == "="):
+        semi = _find_semi(sf, i + 2, hi)
+        _linear(sf, fn, i + 2, semi, views, findings, alloc)
+        # Whether re-fetched via cls() or pointed elsewhere, it is no longer
+        # a stale arena view.
+        views[t.text] = _View(t.line)
+        return semi + 1
+
+    # --- allocation events --------------------------------------------------
+    if t.text == "arena_":
+        if (nxt is not None and nxt.kind == "punct" and nxt.text == "."
+                and i + 2 < len(toks) and toks[i + 2].kind == "id"
+                and toks[i + 2].text in MUTATING_METHODS):
+            _kill_all(views, f"arena_.{toks[i + 2].text}", t.line)
+            return i + 3
+        return i + 1
+
+    if (t.text in alloc and nxt is not None and nxt.kind == "punct"
+            and nxt.text == "("):
+        _kill_all(views, t.text, t.line)
+        return i + 1
+
+    # --- uses ---------------------------------------------------------------
+    if t.text in views:
+        v = views[t.text]
+        if not v.valid:
+            what, kline = v.killer or ("an allocating call", t.line)
+            findings.append(Finding(
+                RULE, sf.path, t.line,
+                f"clause view '{t.text}' (fetched line {v.line}) read after "
+                f"possible arena reallocation by '{what}' (line {kline}); "
+                f"re-fetch with cls() after anything that can allocate"))
+            v.valid = True  # one finding per invalidation
+        return i + 1
+
+    return i + 1
+
+
+def _kill_all(views, what, line):
+    for v in views.values():
+        if v.valid:
+            v.valid = False
+            v.killer = (what, line)

@@ -1,0 +1,33 @@
+"""L2 — raw clause-arena access outside src/sat/.
+
+The flat `arena_` buffer (CRef = word offset, 4-word packed headers) is an
+implementation detail of the SAT core.  Everything outside src/sat/ must go
+through the solver API (clause ids, `export_clause`, proof hooks) — a raw
+`arena_` read elsewhere would freeze the layout forever and break the next
+arena GC change.  Any token `arena_` outside src/sat/ is a finding.
+"""
+
+from __future__ import annotations
+
+from findings import Finding
+from model import Project, SourceFile
+
+RULE = "L2"
+DESCRIPTION = "raw arena_ access outside src/sat/"
+
+_BANNED_IDS = {"arena_"}
+
+
+def applies(path: str) -> bool:
+    return not path.startswith("src/sat/")
+
+
+def check(project: Project, sf: SourceFile):
+    out = []
+    for t in sf.toks:
+        if t.kind == "id" and t.text in _BANNED_IDS:
+            out.append(Finding(
+                RULE, sf.path, t.line,
+                f"raw clause-arena access ('{t.text}') outside src/sat/; "
+                f"use the Solver API (clause ids / export_clause) instead"))
+    return out

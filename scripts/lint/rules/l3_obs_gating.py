@@ -1,0 +1,178 @@
+"""L3 — obs emission must be gated; emission paths must not allocate.
+
+The obs contract is "off means free" (src/obs/trace.hpp).  `obs::emit` is
+internally gated, but its *arguments* are evaluated at the call site — an
+un-gated `obs::emit(..., std::to_string(x), ...)` pays allocation and
+formatting even with tracing off.  Every `obs::emit` call in the library
+must therefore sit inside a visible gate:
+
+    if (obs::enabled()) { obs::emit(...); }          // direct gate
+    if (!obs::enabled()) return;  ... obs::emit(...) // prologue gate
+    const bool traced = obs::enabled();  if (traced) obs::emit(...);
+
+`obs::Span` / `obs::ScopedEngine` are self-gated RAII and exempt — but a
+Span *label argument* that allocates (std::string / std::to_string /
+std::format / new) is evaluated unconditionally, so that is flagged too.
+"""
+
+from __future__ import annotations
+
+from findings import Finding
+from model import Project, SourceFile
+
+RULE = "L3"
+DESCRIPTION = "un-gated obs::emit / allocation in always-evaluated obs args"
+
+_ALLOC_CALLS = {"to_string", "format"}
+
+
+def applies(path: str) -> bool:
+    return path.startswith("src/") and not path.startswith("src/obs/")
+
+
+def check(project: Project, sf: SourceFile):
+    out = []
+    for fn in sf.funcs:
+        out.extend(_check_fn(sf, fn))
+    return out
+
+
+def _seq(toks, i, *texts):
+    """Tokens starting at i spell exactly `texts`."""
+    n = len(toks)
+    for off, want in enumerate(texts):
+        if i + off >= n or toks[i + off].text != want:
+            return False
+    return True
+
+
+def _gate_bools(sf, fn):
+    """Local bool names assigned from obs::enabled() in this function."""
+    toks = sf.toks
+    names = set()
+    for i in range(fn.body_open + 1, fn.body_close):
+        t = toks[i]
+        if (t.kind == "id" and t.text == "obs"
+                and _seq(toks, i, "obs", "::", "enabled", "(")):
+            # walk back over '=' to a name:  bool traced = obs::enabled();
+            j = i - 1
+            if j > fn.body_open and toks[j].text == "=" and toks[j - 1].kind == "id":
+                names.add(toks[j - 1].text)
+    return names
+
+
+def _guarded_ranges(sf, fn, gate_names):
+    """Token-index ranges [lo, hi) inside fn's body where emission is known
+    gated."""
+    toks = sf.toks
+    ranges = []
+    i = fn.body_open + 1
+    while i < fn.body_close:
+        t = toks[i]
+        if t.kind == "id" and t.text == "if" and _seq(toks, i + 1, "("):
+            copen = i + 1
+            cclose = sf.match.get(toks[copen].i)
+            if cclose is None:
+                i += 1
+                continue
+            cond = toks[copen + 1:cclose]
+            has_gate = False
+            negated = False
+            for k, ct in enumerate(cond):
+                if (ct.kind == "id" and ct.text == "obs"
+                        and k + 2 < len(cond) and cond[k + 1].text == "::"
+                        and cond[k + 2].text == "enabled"):
+                    has_gate = True
+                    negated = k > 0 and cond[k - 1].text == "!"
+                    break
+                if ct.kind == "id" and ct.text in gate_names:
+                    has_gate = True
+                    negated = k > 0 and cond[k - 1].text == "!"
+                    break
+            if has_gate:
+                blo, bhi, nxt = _stmt_range(sf, cclose + 1, fn.body_close)
+                if not negated:
+                    ranges.append((blo, bhi))
+                else:
+                    # `if (!obs::enabled()) return;` — the remainder of the
+                    # function is gated (also accept continue/break: the
+                    # over-approximation to end-of-body is harmless for a
+                    # *linter gate*, the loop tail is gated either way).
+                    first = toks[blo] if blo < bhi else None
+                    if (first is not None and first.kind == "id"
+                            and first.text in ("return", "continue", "break")):
+                        ranges.append((nxt, fn.body_close))
+                i = cclose + 1
+                continue
+        i += 1
+    return ranges
+
+
+def _stmt_range(sf, start, hi):
+    toks = sf.toks
+    i = start
+    if i < hi and toks[i].kind == "punct" and toks[i].text == "{":
+        close = sf.match.get(toks[i].i, hi)
+        return (i + 1, close, close + 1)
+    j = i
+    while j < hi:
+        tj = toks[j]
+        if tj.kind == "punct":
+            if tj.text == ";":
+                return (i, j + 1, j + 1)
+            if tj.text in ("(", "{", "["):
+                j = sf.match.get(tj.i, j)
+        j += 1
+    return (i, hi, hi)
+
+
+def _check_fn(sf, fn):
+    toks = sf.toks
+    out = []
+    gate_names = _gate_bools(sf, fn)
+    guarded = _guarded_ranges(sf, fn, gate_names)
+
+    def is_guarded(i):
+        return any(lo <= i < hi for lo, hi in guarded)
+
+    i = fn.body_open + 1
+    while i < fn.body_close:
+        t = toks[i]
+        if t.kind == "id" and t.text == "obs" and _seq(toks, i, "obs", "::"):
+            what = toks[i + 2].text if i + 2 < fn.body_close else ""
+            if what == "emit" and _seq(toks, i + 3, "("):
+                if not is_guarded(i):
+                    out.append(Finding(
+                        RULE, sf.path, t.line,
+                        "obs::emit call not visibly gated on obs::enabled(); "
+                        "its arguments are evaluated even with tracing off — "
+                        "wrap in `if (obs::enabled()) { ... }`"))
+                i += 3
+                continue
+            if what in ("Span", "ScopedEngine") and i + 3 < fn.body_close:
+                # Find the ctor argument list and flag allocating argument
+                # expressions (evaluated even when tracing is off).
+                j = i + 3
+                while j < fn.body_close and toks[j].kind == "id":
+                    j += 1  # skip the variable name
+                if (j < fn.body_close and toks[j].kind == "punct"
+                        and toks[j].text in ("(", "{")):
+                    close = sf.match.get(toks[j].i, j)
+                    for k in range(j + 1, close):
+                        tk = toks[k]
+                        if tk.kind != "id":
+                            continue
+                        if (tk.text in _ALLOC_CALLS
+                                and k + 1 < close and toks[k + 1].text == "("):
+                            out.append(Finding(
+                                RULE, sf.path, tk.line,
+                                f"'{tk.text}' in an obs::{what} argument "
+                                f"allocates even when tracing is off; pass a "
+                                f"literal label and emit details inside an "
+                                f"enabled() gate"))
+                    i = close + 1
+                    continue
+            i += 3
+            continue
+        i += 1
+    return out

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""itpseq-lint selftest — lint the seeded fixtures, assert exact findings.
+
+Every file under fixtures/ carries a `lint-fixture-path:` pretend path (so
+path-scoped rules apply as they would in the tree) and inline
+`lint-expect: RULE` annotations on the lines where a finding must fire.
+For each fixture this driver asserts the *exact* set of (line, rule)
+findings — a missing finding means a rule regressed, an extra one means a
+false positive crept in; both fail.  It then shells out to run.py per
+fixture to pin the exit-status contract: 1 when violations are seeded,
+0 when the fixture is clean (negatives / fully suppressed).
+
+Registered as the `lint_selftest` ctest entry; exit 0 = all fixtures pass.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, _HERE)
+
+import cxx
+import run as runner
+
+FIXTURE_DIR = os.path.join(_HERE, "fixtures")
+
+
+def check_fixture(root: str, path: str):
+    """Yield human-readable failure strings for one fixture file."""
+    name = os.path.basename(path)
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    if cxx.fixture_path(text) is None:
+        yield f"{name}: missing a lint-fixture-path: annotation"
+        return
+    expected = set(cxx.expected_findings(text))
+    got = {(f.line, f.rule) for f in runner.lint_files(root, [path])}
+    for line, rule in sorted(expected - got):
+        yield f"{name}: expected {rule} at line {line} did not fire"
+    for line, rule in sorted(got - expected):
+        yield f"{name}: unexpected {rule} at line {line} (false positive)"
+
+    # Exit-status contract: run.py must exit 1 on a seeded violation and 0
+    # on a clean (negative-only / suppressed) fixture.
+    proc = subprocess.run(
+        [sys.executable, os.path.join(_HERE, "run.py"), path],
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+    want = 1 if expected else 0
+    if proc.returncode != want:
+        yield (f"{name}: run.py exited {proc.returncode}, "
+               f"expected {want}")
+
+
+def main() -> int:
+    root = runner.repo_root()
+    fixtures = sorted(
+        os.path.join(FIXTURE_DIR, f) for f in os.listdir(FIXTURE_DIR)
+        if f.endswith(runner.CXX_EXTS))
+    if not fixtures:
+        print("lint-selftest: no fixtures found", file=sys.stderr)
+        return 1
+
+    failures = []
+    seeded = 0
+    for path in fixtures:
+        failures.extend(check_fixture(root, path))
+        with open(path, "r", encoding="utf-8") as fh:
+            seeded += len(cxx.expected_findings(fh.read()))
+
+    for msg in failures:
+        print(f"lint-selftest: FAIL: {msg}")
+    if failures:
+        return 1
+    print(f"lint-selftest: OK — {len(fixtures)} fixtures, "
+          f"{seeded} seeded findings, all exact")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,35 @@
+// Checked-build support (ITPSEQ_CHECKED).
+//
+// The static linter (scripts/lint/) proves what it can from token shapes;
+// this header is the *dynamic* backstop for the contracts it can only
+// approximate: arena-view lifetimes and the inprocessing freeze contract.
+// Everything here follows the obs "off means free" rule — when the CMake
+// option ITPSEQ_CHECKED is OFF (the default) the macro expands to nothing,
+// no fields exist, and the release code path is bit-identical.
+//
+// ITPSEQ_CHECK deliberately does not use assert(): checked builds must fire
+// in any CMAKE_BUILD_TYPE (CI runs RelWithDebInfo, which defines NDEBUG).
+// A violation prints one line and aborts; tests/checked_test.cpp matches
+// the "itpseq checked-build violation" prefix in a death test.
+#pragma once
+
+#ifdef ITPSEQ_CHECKED
+
+#include <cstdio>
+#include <cstdlib>
+
+#define ITPSEQ_CHECK(cond, msg)                                       \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      std::fprintf(stderr,                                            \
+                   "itpseq checked-build violation: %s (%s:%d)\n",    \
+                   msg, __FILE__, __LINE__);                          \
+      std::abort();                                                   \
+    }                                                                 \
+  } while (0)
+
+#else
+
+#define ITPSEQ_CHECK(cond, msg) ((void)0)
+
+#endif

@@ -148,6 +148,15 @@ Solver::CRef Solver::integrate_clause(std::vector<Lit> lits, ClauseId id,
                                       bool learned, std::uint32_t lbd) {
   assert(trail_lim_.empty());
   assert(!lits.empty());
+#ifdef ITPSEQ_CHECKED
+  // Freeze contract: a clause entering the live database must not mention a
+  // BVE-eliminated variable — propagation could assign it behind model
+  // reconstruction's back.  Callers restore (add_clause) or skip
+  // (inprocessing phases iterate non-eliminated vars) before getting here.
+  for (Lit l : lits)
+    ITPSEQ_CHECK(!eliminated_[var(l)],
+                 "clause integrated while mentioning an eliminated variable");
+#endif
   for (Lit l : lits)
     if (value(l) == LBool::kTrue) return kNoCRef;  // satisfied at level 0
   std::stable_partition(lits.begin(), lits.end(),
@@ -254,6 +263,7 @@ void Solver::restore_var(Var v) {
     // deactivated, never erased, so recursion is safe.)
     for (const ElimClause& ec : rec.clauses)
       for (Lit l : ec.lits)
+        // itpseq-lint: allow(L4) the recursion only deactivates other trail records; rec.clauses is never resized (see above)
         if (eliminated_[var(l)]) restore_var(var(l));
     // Re-install the recorded clauses under their original proof ids — no
     // new proof steps; the formula is back to (an equivalent of) what the
@@ -354,8 +364,34 @@ bool Solver::inprocess() {
                {"hyper_binaries", stats_.hyper_binaries - before.hyper_binaries},
                {"arena_bytes", arena_bytes()}});
   }
+#ifdef ITPSEQ_CHECKED
+  checked_audit_freeze();
+#endif
   return true;
 }
+
+#ifdef ITPSEQ_CHECKED
+// End-of-inprocess invariant audit (ITPSEQ_CHECKED builds only): one O(vars)
+// pass over the freeze/elimination state and one O(arena) walk over the
+// clause store.  Catches any phase that eliminated a frozen variable or
+// left a live clause mentioning an eliminated one — the two ways BVE model
+// reconstruction (and with it every published certificate) goes wrong.
+void Solver::checked_audit_freeze() const {
+  for (Var v = 0; v < static_cast<Var>(num_vars()); ++v)
+    ITPSEQ_CHECK(!(frozen_[v] && eliminated_[v]),
+                 "frozen variable is eliminated after an inprocessing round");
+  for (CRef cr = 0; cr < static_cast<CRef>(arena_.size());) {
+    const std::uint32_t w0 = arena_[cr];
+    const std::uint32_t sz = w0 >> kFlagBits;
+    if (!(w0 & kDeletedFlag))
+      for (std::uint32_t i = 0; i < sz; ++i)
+        ITPSEQ_CHECK(
+            !eliminated_[var(arena_[cr + kHeaderWords + i])],
+            "live clause mentions an eliminated variable after inprocessing");
+    cr += kHeaderWords + sz;
+  }
+}
+#endif
 
 bool Solver::inprocess_subsume_eliminate() {
   assert(ok_ && trail_lim_.empty());
@@ -533,6 +569,7 @@ bool Solver::try_eliminate(OccIndex& ix, Var v) {
   // Commit: record + delete the originals (learned clauses with v are
   // simply dropped — they are consequences of the input and carry no
   // reconstruction obligation), then install the logged resolvents.
+  ITPSEQ_CHECK(!frozen_[v], "frozen variable selected for elimination");
   eliminated_[v] = 1;
   ++stats_.vars_eliminated;
   ElimRecord rec;

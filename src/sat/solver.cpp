@@ -62,6 +62,9 @@ Var Solver::new_var() {
 
 Solver::CRef Solver::alloc_clause(const std::vector<Lit>& lits, ClauseId id,
                                   bool learned, std::uint32_t lbd) {
+#ifdef ITPSEQ_CHECKED
+  ++arena_epoch_;  // every outstanding Cls view is now stale by contract
+#endif
   CRef cr = static_cast<CRef>(arena_.size());
   arena_.push_back((static_cast<std::uint32_t>(lits.size()) << kFlagBits) |
                    (learned ? kLearnedFlag : 0u));
@@ -720,8 +723,26 @@ void Solver::garbage_collect() {
                {"arena_bytes", to.size() * sizeof(std::uint32_t)}});
   }
   arena_.swap(to);
+#ifdef ITPSEQ_CHECKED
+  ++arena_epoch_;  // compaction moved every clause
+#endif
   wasted_ = 0;
 }
+
+#ifdef ITPSEQ_CHECKED
+std::uint32_t Solver::debug_stale_view_probe() {
+  // Ternary clauses so both add_clause calls definitely hit the arena
+  // (units only enqueue).
+  std::vector<Lit> c1, c2;
+  for (int i = 0; i < 3; ++i) c1.push_back(mk_lit(new_var(), false));
+  for (int i = 0; i < 3; ++i) c2.push_back(mk_lit(new_var(), false));
+  add_clause(c1);
+  Cls stale = cls(0);  // view of c1 at the current epoch
+  add_clause(c2);      // allocates: bumps the epoch
+  // itpseq-lint: allow(L1) deliberate: this probe EXISTS to trip the checked-build epoch assert
+  return stale.size();  // must abort under ITPSEQ_CHECKED
+}
+#endif
 
 double Solver::luby(std::uint64_t i) const {
   // Luby sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...

@@ -106,6 +106,7 @@
 #include <memory>
 #include <vector>
 
+#include "sat/checked.hpp"
 #include "sat/proof.hpp"
 #include "sat/types.hpp"
 
@@ -295,6 +296,14 @@ class Solver {
   /// Check that a full assignment satisfies every input clause (debugging).
   bool verify_model() const;
 
+#ifdef ITPSEQ_CHECKED
+  /// Deliberately violates the view contract: fetches a Cls, forces an
+  /// arena allocation, then dereferences the stale view.  Exists only so
+  /// tests/checked_test.cpp can death-test the epoch validation; returns
+  /// the (never-reached) stale size.
+  std::uint32_t debug_stale_view_probe();
+#endif
+
  private:
   using CRef = std::uint32_t;
   static constexpr CRef kNoCRef = 0xffffffffu;
@@ -309,33 +318,58 @@ class Solver {
   static constexpr std::uint32_t kTier2Lbd = 6;  // mid tier: deleted last
 
   /// Transient view of an arena clause (invalidated by any allocation).
+  /// Under ITPSEQ_CHECKED every view fetched through cls() captures the
+  /// arena epoch at fetch time and validates it on each dereference — a
+  /// view held across alloc_clause()/garbage_collect() aborts with a
+  /// diagnostic instead of silently reading freed memory.
   struct Cls {
     std::uint32_t* base;
-    std::uint32_t size() const { return base[0] >> kFlagBits; }
-    bool learned() const { return (base[0] & kLearnedFlag) != 0; }
-    bool deleted() const { return (base[0] & kDeletedFlag) != 0; }
-    void set_deleted() { base[0] |= kDeletedFlag; }
-    void clear_learned() { base[0] &= ~kLearnedFlag; }
-    ClauseId id() const { return base[1]; }
-    std::uint32_t lbd() const { return base[2]; }
-    void set_lbd(std::uint32_t g) { base[2] = g; }
+#ifdef ITPSEQ_CHECKED
+    const Solver* owner = nullptr;  // nullptr: unchecked (foreign buffer)
+    std::uint64_t epoch = 0;
+    std::uint32_t* b() const {
+      ITPSEQ_CHECK(owner == nullptr || epoch == owner->arena_epoch_,
+                   "stale Cls view: the clause arena was reallocated or "
+                   "compacted since this view was fetched; re-fetch with "
+                   "cls() after anything that can allocate");
+      return base;
+    }
+#else
+    std::uint32_t* b() const { return base; }
+#endif
+    std::uint32_t size() const { return b()[0] >> kFlagBits; }
+    bool learned() const { return (b()[0] & kLearnedFlag) != 0; }
+    bool deleted() const { return (b()[0] & kDeletedFlag) != 0; }
+    void set_deleted() { b()[0] |= kDeletedFlag; }
+    void clear_learned() { b()[0] &= ~kLearnedFlag; }
+    ClauseId id() const { return b()[1]; }
+    std::uint32_t lbd() const { return b()[2]; }
+    void set_lbd(std::uint32_t g) { b()[2] = g; }
     float activity() const {
       float a;
-      std::memcpy(&a, &base[3], sizeof a);
+      std::memcpy(&a, &b()[3], sizeof a);
       return a;
     }
-    void set_activity(float a) { std::memcpy(&base[3], &a, sizeof a); }
-    Lit* lits() { return base + kHeaderWords; }
-    const Lit* lits() const { return base + kHeaderWords; }
+    void set_activity(float a) { std::memcpy(&b()[3], &a, sizeof a); }
+    Lit* lits() { return b() + kHeaderWords; }
+    const Lit* lits() const { return b() + kHeaderWords; }
     Lit* begin() { return lits(); }
     Lit* end() { return lits() + size(); }
-    Lit& operator[](std::uint32_t i) { return base[kHeaderWords + i]; }
-    Lit operator[](std::uint32_t i) const { return base[kHeaderWords + i]; }
+    Lit& operator[](std::uint32_t i) { return b()[kHeaderWords + i]; }
+    Lit operator[](std::uint32_t i) const { return b()[kHeaderWords + i]; }
   };
+#ifdef ITPSEQ_CHECKED
+  Cls cls(CRef cr) { return Cls{arena_.data() + cr, this, arena_epoch_}; }
+  const Cls cls(CRef cr) const {
+    return Cls{const_cast<std::uint32_t*>(arena_.data()) + cr, this,
+               arena_epoch_};
+  }
+#else
   Cls cls(CRef cr) { return Cls{arena_.data() + cr}; }
   const Cls cls(CRef cr) const {
     return Cls{const_cast<std::uint32_t*>(arena_.data()) + cr};
   }
+#endif
 
   /// Watcher for clauses of size >= 3.
   struct Watcher {
@@ -444,6 +478,15 @@ class Solver {
 
   // clause storage ---------------------------------------------------------
   std::vector<std::uint32_t> arena_;         // flat clause arena (see header)
+#ifdef ITPSEQ_CHECKED
+  // Bumped by every alloc_clause() and every garbage_collect(): any Cls
+  // fetched before the bump aborts on its next dereference.  The counter is
+  // bumped even when the vector did not physically move — the *contract* is
+  // "re-fetch after anything that can allocate", and the checked build
+  // enforces the contract, not this run's luck.
+  std::uint64_t arena_epoch_ = 0;
+  void checked_audit_freeze() const;         // end-of-inprocess invariants
+#endif
   std::vector<CRef> learned_list_;           // arena refs of learned clauses
   std::size_t num_input_clauses_ = 0;
   std::size_t wasted_ = 0;                   // deleted words awaiting GC

@@ -1,0 +1,61 @@
+// checked_test.cpp — the ITPSEQ_CHECKED dynamic backstops: a stale Cls view
+// must abort with a diagnostic (death test over the arena-epoch validation),
+// and a normal solve with inprocessing + GC must run clean under the same
+// instrumentation (epoch bumps and the freeze audit fire on every round).
+// Without -DITPSEQ_CHECKED=ON the suite self-skips; CI runs both flavors.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sat/solver.hpp"
+
+namespace itpseq::sat {
+namespace {
+
+#ifdef ITPSEQ_CHECKED
+
+TEST(CheckedBuild, StaleClsViewAborts) {
+  EXPECT_DEATH(
+      {
+        Solver s;
+        (void)s.debug_stale_view_probe();
+      },
+      "itpseq checked-build violation: stale Cls view");
+}
+
+// Pigeonhole PHP(4,3): small, UNSAT, and busy enough to drive learning,
+// reduce/GC pressure and a forced inprocessing round — every epoch bump and
+// the end-of-round freeze audit execute on a real workload.
+TEST(CheckedBuild, NormalSolveRunsCleanUnderInstrumentation) {
+  constexpr int kPigeons = 4, kHoles = 3;
+  Solver s;
+  std::vector<std::vector<Var>> at(kPigeons, std::vector<Var>(kHoles));
+  for (auto& row : at)
+    for (Var& v : row) v = s.new_var();
+  for (int p = 0; p < kPigeons; ++p) {
+    std::vector<Lit> some_hole;
+    for (int h = 0; h < kHoles; ++h) some_hole.push_back(mk_lit(at[p][h], false));
+    ASSERT_TRUE(s.add_clause(some_hole));
+  }
+  for (int h = 0; h < kHoles; ++h)
+    for (int p = 0; p < kPigeons; ++p)
+      for (int q = p + 1; q < kPigeons; ++q)
+        ASSERT_TRUE(s.add_clause(
+            {mk_lit(at[p][h], true), mk_lit(at[q][h], true)}));
+  s.set_inprocess_interval(0);  // force a round at every opportunity
+  s.set_gc_frac(0.01);          // force arena compactions
+  EXPECT_EQ(s.solve(), Status::kUnsat);
+}
+
+#else
+
+TEST(CheckedBuild, SkippedWithoutCheckedBuild) {
+  GTEST_SKIP()
+      << "configure with -DITPSEQ_CHECKED=ON to exercise the dynamic "
+         "backstops (arena-epoch validation, freeze audit)";
+}
+
+#endif
+
+}  // namespace
+}  // namespace itpseq::sat
