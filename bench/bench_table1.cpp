@@ -48,6 +48,9 @@ std::string engine_cell(const mc::EngineResult& r) {
     case mc::Verdict::kUnknown:
       std::snprintf(buf, sizeof buf, "    ovf (%2u)   -", r.k_fp);
       break;
+    case mc::Verdict::kError:
+      std::snprintf(buf, sizeof buf, "    err        -");
+      break;
   }
   return buf;
 }

@@ -1,0 +1,61 @@
+// lint-fixture-path: src/mc/lint_fixture_l6.cpp
+//
+// L6 seeded violations: inline std::thread lambdas whose body does not
+// open with a try/catch boundary — anything they throw is std::terminate
+// for the whole process.  The negatives are the accepted shapes: a body
+// that opens with try, named entry points (audited at their definition),
+// and std::thread mentions that construct nothing.
+
+#include <thread>
+#include <vector>
+
+namespace itpseq::mc {
+
+void work();
+void record();
+
+struct Spawner {
+  std::thread keeper;  // declaration, not a construction
+
+  void bare_lambda() {
+    std::thread([] { work(); }).join();  // lint-expect: L6
+  }
+
+  void named_variable() {
+    std::thread t([this] { work(); });  // lint-expect: L6
+    t.join();
+  }
+
+  void assigned_later() {
+    keeper = std::thread([]() { work(); });  // lint-expect: L6
+    keeper.join();
+  }
+
+  // ---- negatives ----------------------------------------------------------
+
+  void bounded_lambda() {
+    std::thread t([this]() {
+      try {
+        work();
+      } catch (...) {
+        record();
+      }
+    });
+    t.join();
+  }
+
+  void named_entry_point() {
+    std::thread t(work);  // one definition to audit; not an inline body
+    t.join();
+  }
+
+  void pool_of_threads() {
+    std::vector<std::thread> pool;
+    unsigned hw = std::thread::hardware_concurrency();
+    (void)hw;
+    for (std::thread& t : pool)
+      if (t.joinable()) t.join();
+  }
+};
+
+}  // namespace itpseq::mc

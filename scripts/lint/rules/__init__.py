@@ -7,6 +7,7 @@ from rules import (  # noqa: F401
     l3_obs_gating,
     l4_occ_iteration,
     l5_hygiene,
+    l6_thread_boundaries,
 )
 
 ALL_RULES = [
@@ -15,4 +16,5 @@ ALL_RULES = [
     l3_obs_gating,
     l4_occ_iteration,
     l5_hygiene,
+    l6_thread_boundaries,
 ]

@@ -1,0 +1,105 @@
+"""L6 — std::thread inline lambda bodies need a top-level try/catch.
+
+An exception that escapes a thread's start function is std::terminate: the
+whole process dies, taking every healthy portfolio member (and the user's
+run) with it.  The containment contract (src/mc/portfolio.cpp run_member,
+src/obs/trace.cpp sampler) is that every thread body converts failure into
+a result — so a `std::thread([...] { ... })` whose inline lambda does not
+*open* with `try` has no boundary at the outermost frame, and anything the
+body throws before reaching an inner handler is a process kill.
+
+Flagged:
+
+    std::thread([&] { work(); });              // no boundary at all
+    std::thread t([&] { work(); });
+    t = std::thread([this] { work(); });
+
+Accepted:
+
+    std::thread([&] { try { work(); } catch (...) { record(); } });
+    std::thread(&Impl::run, this);             // named entry point: the
+    pool.emplace_back(worker);                 // boundary lives (and is
+                                               // reviewed) at its definition
+
+Named entry points are exempt by design: a function has one definition to
+audit, while an inline lambda's only definition is the spawn site itself.
+"""
+
+from __future__ import annotations
+
+from findings import Finding
+from model import Project, SourceFile
+
+RULE = "L6"
+DESCRIPTION = "std::thread inline lambda body lacks a top-level try/catch"
+
+# Lambda declarator pieces that may sit between the capture list / parameter
+# list and the body's '{'.
+_LAMBDA_SPECIFIERS = {"mutable", "constexpr", "noexcept", "->", "const"}
+
+
+def applies(path: str) -> bool:
+    return path.startswith("src/") or path.startswith("tools/")
+
+
+def check(project: Project, sf: SourceFile):
+    out = []
+    toks = sf.toks
+    n = len(toks)
+    i = 0
+    while i < n:
+        t = toks[i]
+        if not (t.kind == "id" and t.text == "std"
+                and i + 2 < n and toks[i + 1].text == "::"
+                and toks[i + 2].kind == "id" and toks[i + 2].text == "thread"):
+            i += 1
+            continue
+        site_line = t.line
+        j = i + 3
+        i += 3
+        # `std::thread::hardware_concurrency()` and the like: a further
+        # qualifier means this is not a construction.
+        if j < n and toks[j].text == "::":
+            continue
+        # Optional variable name: `std::thread t(...)` / `std::thread t{...}`.
+        if j < n and toks[j].kind == "id":
+            j += 1
+        # A construction has an argument list; `std::thread t;`,
+        # `std::thread& t`, `vector<std::thread>` do not.
+        if not (j < n and toks[j].kind == "punct" and toks[j].text in ("(", "{")):
+            continue
+        arg_close = sf.match.get(toks[j].i)
+        if arg_close is None:
+            continue
+        k = j + 1
+        # Only inline lambdas are in scope: the first argument must open
+        # with a capture list.
+        if not (k < arg_close and toks[k].kind == "punct" and toks[k].text == "["):
+            continue
+        cap_close = sf.match.get(toks[k].i)
+        if cap_close is None:
+            continue
+        k = cap_close + 1
+        if k < arg_close and toks[k].kind == "punct" and toks[k].text == "(":
+            pclose = sf.match.get(toks[k].i)
+            if pclose is None:
+                continue
+            k = pclose + 1
+        # Skip mutable/noexcept/trailing-return-type up to the body.
+        while k < arg_close and toks[k].text != "{":
+            k += 1
+        if k >= arg_close:
+            continue
+        body_open = k
+        first = toks[body_open + 1] if body_open + 1 < n else None
+        if not (first is not None and first.kind == "id" and first.text == "try"):
+            out.append(Finding(
+                RULE, sf.path, site_line,
+                "inline std::thread lambda body does not open with try — an "
+                "exception escaping the thread is std::terminate for the "
+                "whole process; wrap the body in `try { ... } catch` and "
+                "convert the failure into a recorded result"))
+        body_close = sf.match.get(toks[body_open].i)
+        if body_close is not None:
+            i = body_close
+    return out

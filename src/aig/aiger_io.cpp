@@ -8,6 +8,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/fault.hpp"
+
 namespace itpseq::aig {
 namespace {
 
@@ -79,6 +81,41 @@ RawAiger parse(std::istream& in) {
       if (!(hs >> *s)) break;
   }
 
+  // Hostile-header hardening.  Every downstream allocation is sized by the
+  // declared counts (read_aiger builds max_var+1-entry tables; the record
+  // loops trust I..F), so a corrupt header must fail *here* — as a
+  // runtime_error — not as a multi-GB resize or an out-of-bounds index.
+  const std::uint64_t declared = std::uint64_t{I} + L + A;
+  if (declared > raw.max_var)
+    fail("header: declared counts exceed maximum variable index");
+  if (std::istream::pos_type cur = in.tellg();
+      cur != std::istream::pos_type(-1)) {
+    // Seekable stream: bound the declared counts by the bytes actually
+    // present, using per-record minima (ascii: a bare literal line is >= 2
+    // bytes "0\n", a latch line >= 4 "0 0\n", an AND line >= 6 "0 0 0\n";
+    // binary: latch lines >= 2, each AND >= 2 delta bytes).  The final
+    // record may legally omit its newline, hence the 1-byte slack.
+    in.seekg(0, std::ios::end);
+    std::istream::pos_type endp = in.tellg();
+    in.seekg(cur);
+    if (endp != std::istream::pos_type(-1)) {
+      const std::uint64_t remaining =
+          endp > cur ? static_cast<std::uint64_t>(endp - cur) : 0;
+      const std::uint64_t tail_lits = std::uint64_t{O} + B + C + J + F;
+      const std::uint64_t need =
+          binary ? std::uint64_t{L} * 2 + tail_lits * 2 + std::uint64_t{A} * 2
+                 : std::uint64_t{I} * 2 + std::uint64_t{L} * 4 + tail_lits * 2 +
+                       std::uint64_t{A} * 6;
+      if (need > remaining + 1)
+        fail("header: declared counts exceed file size");
+      // Variable indices above I+L+A ("holes") cost no records, but a real
+      // file cannot name more of them than it has bytes — reject a max_var
+      // chosen purely to blow up the literal tables.
+      if (raw.max_var - declared > remaining)
+        fail("header: maximum variable index exceeds file size");
+    }
+  }
+
   auto check_lit = [&](std::uint32_t l, const char* what) {
     if (l > 2 * raw.max_var + 1) fail(std::string("literal out of range in ") + what);
     return l;
@@ -93,7 +130,17 @@ RawAiger parse(std::istream& in) {
   auto read_line_lit = [&](const char* what) {
     std::string line;
     if (!std::getline(in, line)) fail(std::string("expected line for ") + what);
-    return check_lit(static_cast<std::uint32_t>(std::stoul(line)), what);
+    unsigned long long l = 0;
+    try {
+      l = std::stoull(line);
+    } catch (const std::invalid_argument&) {
+      fail(std::string("bad literal for ") + what);
+    } catch (const std::out_of_range&) {
+      fail(std::string("literal out of range in ") + what);
+    }
+    if (l > 2ull * raw.max_var + 1)
+      fail(std::string("literal out of range in ") + what);
+    return static_cast<std::uint32_t>(l);
   };
 
   if (!binary) {
@@ -119,6 +166,11 @@ RawAiger parse(std::istream& in) {
     std::uint32_t next, reset = 0;
     if (!(ls >> next)) fail("latch next missing");
     if (!(ls >> reset)) reset = 0;
+    // Next-state and reset literals index the max_var+1-entry tables in
+    // read_aiger — unchecked they are an out-of-bounds write waiting in any
+    // corrupt file.
+    check_lit(next, "latch next");
+    if (reset > 1) check_lit(reset, "latch reset");
     raw.latch_next.push_back(next);
     raw.latch_reset.push_back(reset);
   }
@@ -142,6 +194,11 @@ RawAiger parse(std::istream& in) {
     for (std::uint32_t i = 0; i < A; ++i) {
       RawAnd a;
       if (!(in >> a.lhs >> a.rhs0 >> a.rhs1)) fail("bad AND line");
+      // Same table-index hazard as latch next: an unchecked lhs/rhs is an
+      // out-of-bounds access in read_aiger's and_of_var/map fills.
+      check_lit(a.lhs, "AND lhs");
+      check_lit(a.rhs0, "AND rhs");
+      check_lit(a.rhs1, "AND rhs");
       raw.ands.push_back(a);
     }
   } else {
@@ -166,7 +223,12 @@ RawAiger parse(std::istream& in) {
     if (kind != 'i' && kind != 'l' && kind != 'o' && kind != 'b') break;
     std::size_t sp = line.find(' ');
     if (sp == std::string::npos) break;
-    std::size_t idx = std::stoul(line.substr(1, sp - 1));
+    std::size_t idx = 0;
+    try {
+      idx = std::stoul(line.substr(1, sp - 1));
+    } catch (const std::exception&) {
+      break;  // not a symbol line after all — treat as end of table
+    }
     raw.symbols.push_back({kind, {idx, line.substr(sp + 1)}});
   }
   return raw;
@@ -175,6 +237,7 @@ RawAiger parse(std::istream& in) {
 }  // namespace
 
 Aig read_aiger(std::istream& in) {
+  ITPSEQ_FAULT_POINT("aig.load");
   RawAiger raw = parse(in);
   Aig g;
   // Map from file variable to Aig literal.

@@ -6,6 +6,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/fault.hpp"
+
 namespace itpseq::io {
 
 namespace {
@@ -254,7 +256,10 @@ std::string lit_expr(const aig::Aig& g, aig::Lit l,
 
 }  // namespace
 
-aig::Aig read_blif(std::istream& in) { return BlifParser().parse(in); }
+aig::Aig read_blif(std::istream& in) {
+  ITPSEQ_FAULT_POINT("blif.load");
+  return BlifParser().parse(in);
+}
 
 aig::Aig read_blif_file(const std::string& path) {
   std::ifstream in(path);

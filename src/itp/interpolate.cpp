@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/fault.hpp"
+
 namespace itpseq::itp {
 
 const char* to_string(System s) {
@@ -15,6 +17,7 @@ const char* to_string(System s) {
 
 InterpolantExtractor::InterpolantExtractor(const sat::Proof& proof)
     : proof_(proof) {
+  ITPSEQ_FAULT_POINT("itp.extract");
   if (!proof.complete())
     throw std::invalid_argument("InterpolantExtractor: proof incomplete");
   core_ = proof.core();

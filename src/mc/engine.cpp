@@ -1,9 +1,12 @@
 #include "mc/engine.hpp"
 
 #include <algorithm>
+#include <ios>
+#include <new>
 
 #include "aig/compact.hpp"
 #include "obs/trace.hpp"
+#include "util/mem_budget.hpp"
 
 namespace itpseq::mc {
 
@@ -15,8 +18,44 @@ const char* to_string(Verdict v) {
       return "FAIL";
     case Verdict::kUnknown:
       return "UNKNOWN";
+    case Verdict::kError:
+      return "ERROR";
   }
   return "?";
+}
+
+const char* to_string(ErrorKind k) {
+  switch (k) {
+    case ErrorKind::kNone:
+      return "NONE";
+    case ErrorKind::kOutOfMemory:
+      return "OOM";
+    case ErrorKind::kSolverLimit:
+      return "SOLVER-LIMIT";
+    case ErrorKind::kInternal:
+      return "INTERNAL";
+    case ErrorKind::kIoError:
+      return "IO";
+  }
+  return "?";
+}
+
+ErrorInfo classify_exception(const std::exception& e) {
+  ErrorInfo info;
+  if (dynamic_cast<const std::bad_alloc*>(&e) != nullptr) {
+    info.kind = ErrorKind::kOutOfMemory;
+    info.message = "out of memory";
+    return info;
+  }
+  info.message = e.what();
+  if (dynamic_cast<const std::ios_base::failure*>(&e) != nullptr ||
+      info.message.rfind("aiger:", 0) == 0 ||
+      info.message.rfind("blif:", 0) == 0) {
+    info.kind = ErrorKind::kIoError;
+  } else {
+    info.kind = ErrorKind::kInternal;
+  }
+  return info;
 }
 
 Engine::Engine(const aig::Aig& model, std::size_t prop, EngineOptions opts)
@@ -30,7 +69,21 @@ EngineResult Engine::run() {
   obs::Span obs_span("run");
   EngineResult out;
   out.engine = name();
-  if (!preliminary_checks(out)) execute(out);
+  // Containment boundary: execute() mutates `out` in place, so whatever
+  // stats accumulated before an exception survive into the kError result.
+  try {
+    if (!preliminary_checks(out)) execute(out);
+  } catch (const std::exception& e) {
+    out.verdict = Verdict::kError;
+    out.error = classify_exception(e);
+  } catch (...) {
+    out.verdict = Verdict::kError;
+    out.error = {ErrorKind::kInternal, "unknown exception"};
+  }
+  if (out.verdict == Verdict::kError && obs::enabled()) {
+    obs::emit("engine_error",
+              {{"engine", name()}, {"kind", to_string(out.error.kind)}});
+  }
   out.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
           .count();

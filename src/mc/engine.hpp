@@ -21,6 +21,7 @@
 #include "mc/result.hpp"
 #include "mc/state_space.hpp"
 #include "sat/solver.hpp"
+#include "util/mem_budget.hpp"
 
 namespace itpseq::mc {
 
@@ -47,9 +48,15 @@ class Engine {
     return opts_.cancel != nullptr &&
            opts_.cancel->load(std::memory_order_relaxed);
   }
-  /// Budget exhausted or cancellation requested — engines poll this at
-  /// every loop head and stop with kUnknown when it fires.
-  bool out_of_time() const { return cancelled() || remaining() <= 0.0; }
+  /// Budget exhausted (wall clock or hard memory pressure) or cancellation
+  /// requested — engines poll this at every loop head and stop with
+  /// kUnknown when it fires.  The memory check is one relaxed load when no
+  /// --mem-limit is armed; the budget itself is refreshed by the SAT core's
+  /// polls, which run far more often than engine loop heads.
+  bool out_of_time() const {
+    return cancelled() || remaining() <= 0.0 ||
+           util::MemoryBudget::instance().hard();
+  }
   /// SAT budget covering the remaining engine time (and cancellation).
   sat::Budget sat_budget() const;
 

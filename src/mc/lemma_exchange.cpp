@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/trace.hpp"
+#include "util/fault.hpp"
 
 namespace itpseq::mc {
 
@@ -43,6 +44,7 @@ LemmaExchange::LemmaExchange(std::size_t num_latches, std::size_t capacity)
     : num_latches_(num_latches), capacity_(capacity) {}
 
 bool LemmaExchange::publish(Lemma lemma) {
+  ITPSEQ_FAULT_POINT("exchange.publish");
   const char* obs_grade = to_string(lemma.grade);
   auto obs_report = [&](std::size_t lits, bool accepted) {
     if (!obs::enabled()) return;
@@ -108,6 +110,7 @@ bool LemmaExchange::publish(Lemma lemma) {
 
 std::vector<Lemma> LemmaExchange::fetch(std::size_t& cursor,
                                         std::uint8_t self) {
+  ITPSEQ_FAULT_POINT("exchange.fetch");
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<Lemma> out;
   for (; cursor < lemmas_.size(); ++cursor) {

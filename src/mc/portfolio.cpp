@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <condition_variable>
 #include <mutex>
 #include <thread>
 
@@ -60,32 +61,59 @@ constexpr unsigned kSimSweepRounds = 4096;
 /// Run one member to completion under `eo` (budget, cancellation token and
 /// exchange hub are all inside).  `sim_rounds` sizes the random-simulation
 /// sweep and must be derived deterministically by the caller.
+///
+/// Containment boundary: a member that throws (engine construction, the
+/// self-scheduled random-sim sweep — Engine::run() has its own boundary for
+/// everything Engine-derived) becomes a kError *result*; the portfolio
+/// keeps racing the survivors instead of std::terminate taking the process.
 EngineResult run_member(const aig::Aig& model, std::size_t prop,
                         PortfolioMember m, const EngineOptions& eo,
                         std::uint64_t sim_seed, unsigned sim_rounds) {
-  switch (m) {
-    case PortfolioMember::kRandomSim:
-      return check_random_sim(model, prop, /*depth=*/64, sim_rounds,
-                              sim_seed, eo.cancel, eo.time_limit_sec);
-    case PortfolioMember::kBmc:
-      return check_bmc(model, prop, eo);
-    case PortfolioMember::kItp:
-      return check_itp(model, prop, eo);
-    case PortfolioMember::kItpPartitioned: {
-      EngineOptions e = eo;
-      e.itp_partitioned = true;
-      return check_itp(model, prop, e);
+  try {
+    switch (m) {
+      case PortfolioMember::kRandomSim:
+        return check_random_sim(model, prop, /*depth=*/64, sim_rounds,
+                                sim_seed, eo.cancel, eo.time_limit_sec);
+      case PortfolioMember::kBmc:
+        return check_bmc(model, prop, eo);
+      case PortfolioMember::kItp:
+        return check_itp(model, prop, eo);
+      case PortfolioMember::kItpPartitioned: {
+        EngineOptions e = eo;
+        e.itp_partitioned = true;
+        return check_itp(model, prop, e);
+      }
+      case PortfolioMember::kItpSeq:
+        return check_itpseq(model, prop, eo);
+      case PortfolioMember::kSItpSeq:
+        return check_sitpseq(model, prop, eo);
+      case PortfolioMember::kItpSeqCba:
+        return check_itpseq_cba(model, prop, eo);
+      case PortfolioMember::kKInduction:
+        return check_kinduction(model, prop, eo);
+      case PortfolioMember::kPdr:
+        return check_pdr(model, prop, eo);
     }
-    case PortfolioMember::kItpSeq:
-      return check_itpseq(model, prop, eo);
-    case PortfolioMember::kSItpSeq:
-      return check_sitpseq(model, prop, eo);
-    case PortfolioMember::kItpSeqCba:
-      return check_itpseq_cba(model, prop, eo);
-    case PortfolioMember::kKInduction:
-      return check_kinduction(model, prop, eo);
-    case PortfolioMember::kPdr:
-      return check_pdr(model, prop, eo);
+  } catch (const std::exception& e) {
+    EngineResult r;
+    r.engine = to_string(m);
+    r.verdict = Verdict::kError;
+    r.error = classify_exception(e);
+    if (obs::enabled()) {
+      obs::emit("engine_error",
+                {{"engine", to_string(m)}, {"kind", to_string(r.error.kind)}});
+    }
+    return r;
+  } catch (...) {
+    EngineResult r;
+    r.engine = to_string(m);
+    r.verdict = Verdict::kError;
+    r.error = {ErrorKind::kInternal, "unknown exception"};
+    if (obs::enabled()) {
+      obs::emit("engine_error",
+                {{"engine", to_string(m)}, {"kind", to_string(r.error.kind)}});
+    }
+    return r;
   }
   return {};
 }
@@ -219,8 +247,21 @@ EngineResult check_portfolio(const aig::Aig& model, std::size_t prop,
 
   LemmaExchange hub(model.num_latches());
   LemmaExchange* hubp = opts.exchange ? &hub : nullptr;
+  // Per-member fates (winners, losers and crashes alike) — attached to
+  // every returned result so run_report can list them.  Threaded mode
+  // appends under `mu`.
+  std::vector<MemberOutcome> outcomes;
+  auto record_outcome = [&outcomes](PortfolioMember m, const EngineResult& r) {
+    MemberOutcome o;
+    o.member = to_string(m);
+    o.verdict = r.verdict;
+    o.seconds = r.seconds;
+    o.error = r.error;
+    outcomes.push_back(std::move(o));
+  };
   auto finalize = [&](EngineResult r) {
     r.seconds = elapsed();
+    r.members = std::move(outcomes);
     if (hubp != nullptr) {
       LemmaExchangeStats hs = hub.stats();
       r.stats.lemmas_published = hs.published;
@@ -260,6 +301,8 @@ EngineResult check_portfolio(const aig::Aig& model, std::size_t prop,
     std::size_t slot = 0;
     unsigned round = 0;
     while (elapsed() < opts.time_limit_sec) {
+      std::size_t round_errors = 0;
+      EngineResult err;
       for (std::size_t i = 0; i < opts.members.size(); ++i) {
         if (external != nullptr && external->load(std::memory_order_relaxed)) {
           last.engine = "portfolio";  // no winner: don't leak a member name
@@ -283,11 +326,23 @@ EngineResult check_portfolio(const aig::Aig& model, std::size_t prop,
                                     {"verdict", to_string(r.verdict)},
                                     {"seconds", r.seconds}});
         }
-        if (r.verdict != Verdict::kUnknown) {
+        record_outcome(opts.members[i], r);
+        if (r.verdict == Verdict::kPass || r.verdict == Verdict::kFail) {
           r.engine = std::string("portfolio/") + to_string(opts.members[i]);
           return finalize(std::move(r));
         }
-        last = std::move(r);
+        if (r.verdict == Verdict::kError) {
+          ++round_errors;
+          err = std::move(r);
+        } else {
+          last = std::move(r);
+        }
+      }
+      // A whole round of failures means no member can make progress —
+      // surface the error instead of burning the rest of the budget.
+      if (round_errors == opts.members.size()) {
+        err.engine = "portfolio";
+        return finalize(std::move(err));
       }
       slice *= 2.0;
       ++round;
@@ -297,88 +352,189 @@ EngineResult check_portfolio(const aig::Aig& model, std::size_t prop,
   }
 
   // Threaded scheduler: a pool of `jobs` workers drains the member queue;
-  // the first definite verdict flips the shared cancellation token and
-  // every peer winds down cooperatively.  All threads are joined before
-  // returning (engines never detach work — see engine.hpp).
+  // the first definite verdict (kPass/kFail) flips the shared cancellation
+  // token and every peer winds down cooperatively.  All threads are joined
+  // before returning (engines never detach work — see engine.hpp).
   std::atomic<bool> cancel{false};
+  std::atomic<bool> watchdog_fired{false};
   std::atomic<std::size_t> next{0};
   std::mutex mu;
   int winner = -1;
   EngineResult win;
+  bool have_unknown = false;  // guarded by mu; `last` holds a healthy result
   auto worker = [&] {
-    while (!cancel.load(std::memory_order_relaxed)) {
-      std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= opts.members.size()) break;
-      double remaining = opts.time_limit_sec - elapsed();
-      if (remaining <= 0) break;
-      // Fair share when the pool is narrower than the member list: the
-      // queue behind this member must still get its turn, so cap the
-      // budget at this member's share of the pool's remaining capacity.
-      // With jobs >= members the share is >= remaining (no cap) — every
-      // member simply runs with the full remaining budget.
-      std::size_t queued = opts.members.size() - i;
-      double budget =
-          std::min(remaining, remaining * jobs / static_cast<double>(queued));
-      EngineOptions eo = member_options(i, budget);
-      eo.cancel = &cancel;
-      if (opts.active_probe != nullptr) opts.active_probe->fetch_add(1);
-      if (obs::enabled()) {
-        obs::emit("worker_start", {{"member", to_string(opts.members[i])},
-                                   {"slot", i},
-                                   {"budget_sec", budget}});
-      }
-      EngineResult r = run_member(model, prop, opts.members[i], eo,
-                                  opts.sim_seed, kSimSweepRounds);
-      if (opts.active_probe != nullptr) opts.active_probe->fetch_sub(1);
-      if (obs::enabled()) {
-        obs::emit("worker_done", {{"member", to_string(opts.members[i])},
-                                  {"slot", i},
-                                  {"verdict", to_string(r.verdict)},
-                                  {"seconds", r.seconds}});
-      }
-      std::lock_guard<std::mutex> lock(mu);
-      if (r.verdict != Verdict::kUnknown) {
-        if (winner < 0) {
-          winner = static_cast<int>(i);
-          win = std::move(r);
-          cancel.store(true, std::memory_order_relaxed);
-          // The winning verdict propagates cancellation to every peer.
-          if (obs::enabled()) {
-            obs::emit("cancel", {{"winner", to_string(opts.members[i])},
-                                 {"verdict", to_string(win.verdict)}});
-          }
+    try {
+      while (!cancel.load(std::memory_order_relaxed)) {
+        std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= opts.members.size()) break;
+        double remaining = opts.time_limit_sec - elapsed();
+        if (remaining <= 0) break;
+        // Fair share when the pool is narrower than the member list: the
+        // queue behind this member must still get its turn, so cap the
+        // budget at this member's share of the pool's remaining capacity.
+        // With jobs >= members the share is >= remaining (no cap) — every
+        // member simply runs with the full remaining budget.
+        std::size_t queued = opts.members.size() - i;
+        double budget =
+            std::min(remaining, remaining * jobs / static_cast<double>(queued));
+        EngineOptions eo = member_options(i, budget);
+        eo.cancel = &cancel;
+        if (opts.active_probe != nullptr) opts.active_probe->fetch_add(1);
+        if (obs::enabled()) {
+          obs::emit("worker_start", {{"member", to_string(opts.members[i])},
+                                     {"slot", i},
+                                     {"budget_sec", budget}});
         }
-      } else {
-        last = std::move(r);
+        EngineResult r = run_member(model, prop, opts.members[i], eo,
+                                    opts.sim_seed, kSimSweepRounds);
+        if (opts.active_probe != nullptr) opts.active_probe->fetch_sub(1);
+        if (obs::enabled()) {
+          obs::emit("worker_done", {{"member", to_string(opts.members[i])},
+                                    {"slot", i},
+                                    {"verdict", to_string(r.verdict)},
+                                    {"seconds", r.seconds}});
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        record_outcome(opts.members[i], r);
+        if (r.verdict == Verdict::kPass || r.verdict == Verdict::kFail) {
+          if (winner < 0) {
+            winner = static_cast<int>(i);
+            win = std::move(r);
+            cancel.store(true, std::memory_order_relaxed);
+            // The winning verdict propagates cancellation to every peer.
+            if (obs::enabled()) {
+              obs::emit("cancel", {{"winner", to_string(opts.members[i])},
+                                   {"verdict", to_string(win.verdict)}});
+            }
+          }
+        } else if (r.verdict == Verdict::kUnknown || !have_unknown) {
+          // Prefer a healthy kUnknown over a crashed member's kError for
+          // the no-winner return; a kError only sticks while nothing
+          // healthy has reported.
+          if (r.verdict == Verdict::kUnknown) have_unknown = true;
+          last = std::move(r);
+        }
       }
+    } catch (const std::exception& e) {
+      // run_member contains engine exceptions; this boundary covers the
+      // scheduler bookkeeping itself (option copies, obs emission) so a
+      // worker can never take down the process or skip its join.
+      std::lock_guard<std::mutex> lock(mu);
+      MemberOutcome o;
+      o.member = "portfolio-worker";
+      o.verdict = Verdict::kError;
+      o.error = classify_exception(e);
+      outcomes.push_back(std::move(o));
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu);
+      MemberOutcome o;
+      o.member = "portfolio-worker";
+      o.verdict = Verdict::kError;
+      o.error = {ErrorKind::kInternal, "unknown exception"};
+      outcomes.push_back(std::move(o));
     }
   };
 
-  // Relay an external cancellation token into the pool's internal one.
-  std::atomic<bool> done{false};
-  std::thread monitor;
-  if (external != nullptr)
-    monitor = std::thread([&] {
-      while (!done.load(std::memory_order_relaxed)) {
-        if (external->load(std::memory_order_relaxed)) {
-          cancel.store(true, std::memory_order_relaxed);
-          break;
+  // One guard thread serves two duties on a shared condition-variable
+  // wait: relaying an external cancellation token into the pool's internal
+  // one, and the watchdog — if cooperative cancellation misses the
+  // deadline (an engine stalled outside its poll loop), force internal
+  // cancellation after a grace period and mark the escalation.  The CV
+  // (unlike the former busy-poll) lets the exit path wake it immediately.
+  struct Relay {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+  };
+  Relay relay;
+  const bool watchdog_on =
+      opts.watchdog_grace_sec > 0 && opts.time_limit_sec >= 0;
+  std::thread guard;
+  if (external != nullptr || watchdog_on) {
+    guard = std::thread([&] {
+      try {
+        const double deadline =
+            opts.time_limit_sec + std::max(0.0, opts.watchdog_grace_sec);
+        std::unique_lock<std::mutex> lock(relay.mu);
+        while (!relay.done) {
+          relay.cv.wait_for(lock, std::chrono::milliseconds(2));
+          if (relay.done) break;
+          if (external != nullptr &&
+              external->load(std::memory_order_relaxed)) {
+            cancel.store(true, std::memory_order_relaxed);
+          }
+          if (watchdog_on && elapsed() >= deadline &&
+              !watchdog_fired.load(std::memory_order_relaxed)) {
+            watchdog_fired.store(true, std::memory_order_relaxed);
+            cancel.store(true, std::memory_order_relaxed);
+            if (obs::enabled()) {
+              obs::emit("watchdog",
+                        {{"grace_sec", opts.watchdog_grace_sec},
+                         {"elapsed_sec", elapsed()}});
+            }
+          }
         }
-        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      } catch (...) {
+        // Never let the guard take the process down: losing it only means
+        // cancellation waits for the workers' own deadline polls.
       }
     });
+  }
+  // Exception-safe teardown, in reverse declaration order: workers are
+  // joined first (GuardPool below), then the guard is woken and joined —
+  // on *every* exit path, including a throwing spawn loop.
+  struct GuardJoin {
+    Relay& relay;
+    std::thread& t;
+    ~GuardJoin() {
+      {
+        std::lock_guard<std::mutex> lock(relay.mu);
+        relay.done = true;
+      }
+      relay.cv.notify_all();
+      if (t.joinable()) t.join();
+    }
+  };
+  GuardJoin guard_join{relay, guard};
 
   std::vector<std::thread> pool;
+  struct PoolJoin {
+    std::vector<std::thread>& pool;
+    ~PoolJoin() {
+      for (std::thread& t : pool)
+        if (t.joinable()) t.join();
+    }
+  };
+  PoolJoin pool_join{pool};
   pool.reserve(jobs);
-  for (unsigned j = 0; j < jobs; ++j) pool.emplace_back(worker);
+  try {
+    for (unsigned j = 0; j < jobs; ++j) pool.emplace_back(worker);
+  } catch (const std::system_error&) {
+    // Thread creation failed under resource pressure: degrade to whatever
+    // part of the pool did start instead of dying.
+  }
+  if (pool.empty()) worker();  // last resort: run the queue inline
   for (std::thread& t : pool) t.join();
-  done.store(true, std::memory_order_relaxed);
-  if (monitor.joinable()) monitor.join();
 
   if (winner >= 0) {
     win.engine = std::string("portfolio/") +
                  to_string(opts.members[static_cast<std::size_t>(winner)]);
     return finalize(std::move(win));
+  }
+  // No winner.  Every member failing is a portfolio-level error; a mix of
+  // kUnknown and crashes stays kUnknown (the healthy members simply ran
+  // out of budget) with the crashes listed in `members`.
+  bool all_error = !outcomes.empty();
+  for (const MemberOutcome& o : outcomes)
+    if (o.verdict != Verdict::kError) all_error = false;
+  if (all_error) {
+    last.verdict = Verdict::kError;
+    last.error = outcomes.front().error;
+  } else if (watchdog_fired.load(std::memory_order_relaxed) &&
+             last.verdict == Verdict::kUnknown &&
+             last.error.kind == ErrorKind::kNone) {
+    last.error = {ErrorKind::kSolverLimit,
+                  "watchdog: deadline passed without cooperative cancellation"};
   }
   last.engine = "portfolio";
   return finalize(std::move(last));

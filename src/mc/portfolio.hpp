@@ -36,6 +36,16 @@
 // change a verdict.  The returned result carries the hub totals in
 // stats.lemmas_published / stats.lemmas_consumed.
 //
+// Failure containment.  A member that dies (bad_alloc, internal error) is
+// a *result*, not a process death: run_member converts the exception into
+// a Verdict::kError result carrying an ErrorInfo, the scheduler records it
+// in EngineResult::members and keeps racing the survivors, and the
+// portfolio itself returns kError only when every member failed.  A
+// watchdog (sharing the external-cancel guard thread) escalates a deadline
+// that cooperative cancellation missed — an engine stalled outside its
+// poll loop — by forcing cancellation after watchdog_grace_sec past the
+// budget and annotating the kUnknown result with ErrorKind::kSolverLimit.
+//
 // Determinism.  For a fixed sim_seed the random-simulation member explores
 // one fixed trace enumeration of a fixed size under *both* schedulers
 // (independent of wall-clock and thread interleaving), and every SAT
@@ -91,6 +101,11 @@ struct PortfolioOptions {
   /// Sequential mode only: first-round slice, doubled each round.
   double slice_seconds = 1.0;
   double time_limit_sec = 60.0;
+  /// Threaded mode: grace period past time_limit_sec before the watchdog
+  /// escalates (forces internal cancellation and tags the result with
+  /// ErrorKind::kSolverLimit).  Engines are cooperative, so this only
+  /// fires when a member misses its own deadline polls.  <= 0 disables.
+  double watchdog_grace_sec = 5.0;
   EngineOptions engine_defaults;
   /// Test instrumentation: incremented when a member starts, decremented
   /// when it returns.  After check_portfolio() returns it reads 0 — the

@@ -4,6 +4,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <exception>
 #include <optional>
 #include <string>
 #include <vector>
@@ -28,9 +29,49 @@ enum class Verdict : std::uint8_t {
   kPass,     ///< property proved
   kFail,     ///< counterexample found
   kUnknown,  ///< resource budget exhausted ("ovf" in Table I terms)
+  kError,    ///< the engine itself failed (exception contained at its
+             ///< boundary); see ErrorInfo for the taxonomy
 };
+// kUnknown vs kError: kUnknown is a *healthy* run that ran out of budget
+// (time, bound, memory ladder) — retrying with more resources may succeed.
+// kError means the computation broke (OOM mid-extraction, I/O failure,
+// internal invariant violation); the partial stats are still reported but
+// the run is not retry-with-more-budget territory.  The portfolio returns
+// kError only when *every* member failed — a single crashed member is
+// reported per-member while survivors keep racing.
 
 const char* to_string(Verdict v);
+
+/// Failure taxonomy attached to kError results.
+enum class ErrorKind : std::uint8_t {
+  kNone,         ///< no error (default-constructed ErrorInfo)
+  kOutOfMemory,  ///< std::bad_alloc escaped the engine
+  kSolverLimit,  ///< solver-side limit tripped abnormally (e.g. the
+                 ///< watchdog had to escalate a missed deadline)
+  kInternal,     ///< invariant violation / unexpected exception
+  kIoError,      ///< model or witness I/O failed
+};
+
+/// Static-storage name ("OOM", "INTERNAL", ...) — safe to hand to obs.
+const char* to_string(ErrorKind k);
+
+struct ErrorInfo {
+  ErrorKind kind = ErrorKind::kNone;
+  std::string message;
+};
+
+/// Map a caught exception onto the taxonomy: bad_alloc -> kOutOfMemory,
+/// parser failures (ios_base::failure or an "aiger:"/"blif:" message
+/// prefix) -> kIoError, anything else -> kInternal.
+ErrorInfo classify_exception(const std::exception& e);
+
+/// One portfolio member's fate, reported even when another member won.
+struct MemberOutcome {
+  std::string member;                  ///< engine name (to_string form)
+  Verdict verdict = Verdict::kUnknown;
+  double seconds = 0.0;
+  ErrorInfo error;                     ///< kind != kNone iff verdict == kError
+};
 
 /// A concrete counterexample: initial latch values plus one input vector per
 /// time frame.  The trace has frames 0..depth(); the bad output is 1 at
@@ -194,6 +235,13 @@ struct EngineResult {
   /// Inductive-invariant certificate; emitted by the interpolation engines
   /// on kPass (check with mc::check_certificate).
   std::optional<Certificate> certificate;
+  /// Why the run errored; kind == kNone unless verdict == kError, except
+  /// that a watchdog-salvaged kUnknown records kSolverLimit here so the
+  /// missed deadline is visible in reports.
+  ErrorInfo error;
+  /// Portfolio runs only: per-member fates, including members that lost the
+  /// race or crashed (their ErrorInfo is preserved here and in run_report).
+  std::vector<MemberOutcome> members;
   EngineStats stats;
 };
 

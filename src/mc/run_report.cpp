@@ -70,6 +70,36 @@ std::string stats_json(const EngineResult& r, const obs::TraceSink* sink,
   kv_u64(out, "k_fp", r.k_fp);
   kv_u64(out, "j_fp", r.j_fp);
 
+  // Failure semantics: present whenever the run carries an error (kError,
+  // or a watchdog-annotated kUnknown), so postmortems never need the log.
+  if (r.error.kind != ErrorKind::kNone) {
+    out += "\"error\":{";
+    kv_str(out, "kind", to_string(r.error.kind));
+    kv_str(out, "message", r.error.message, /*comma=*/false);
+    out += "},";
+  }
+  // Portfolio runs: every member's fate, crashed members included.
+  if (!r.members.empty()) {
+    out += "\"members\":[";
+    bool first_m = true;
+    for (const MemberOutcome& m : r.members) {
+      if (!first_m) out += ',';
+      first_m = false;
+      out += '{';
+      kv_str(out, "member", m.member);
+      kv_str(out, "verdict", to_string(m.verdict));
+      kv_f64(out, "seconds", m.seconds, /*comma=*/m.error.kind != ErrorKind::kNone);
+      if (m.error.kind != ErrorKind::kNone) {
+        out += "\"error\":{";
+        kv_str(out, "kind", to_string(m.error.kind));
+        kv_str(out, "message", m.error.message, /*comma=*/false);
+        out += '}';
+      }
+      out += '}';
+    }
+    out += "],";
+  }
+
   const EngineStats& s = r.stats;
   out += "\"stats\":{";
   kv_u64(out, "sat_calls", s.sat_calls);

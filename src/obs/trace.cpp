@@ -14,6 +14,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/fault.hpp"
+
 namespace itpseq::obs {
 
 namespace detail {
@@ -229,6 +231,7 @@ struct TraceSink::Impl {
   }
 
   void process(const std::vector<Event>& batch) {
+    ITPSEQ_FAULT_POINT("obs.drain");
     std::lock_guard<std::mutex> lock(io_mu);
     std::string line;
     for (const Event& e : batch) {
@@ -284,6 +287,7 @@ TraceSink::TraceSink(TraceConfig cfg) : impl_(std::make_unique<Impl>()) {
     tick = impl_->cfg.progress_interval_sec;
   if (tick > 0) {
     impl_->sampler = std::thread([this, tick] {
+      try {
       ScopedEngine tag("sampler");
       Counters& c = counters();
       std::uint64_t last[8] = {};
@@ -337,6 +341,10 @@ TraceSink::TraceSink(TraceConfig cfg) : impl_(std::make_unique<Impl>()) {
         std::memcpy(last, now, sizeof last);
         flush();
       }
+      } catch (...) {
+        // Telemetry must never take the process down: a dying sampler
+        // just stops mid-run sampling; finish() still drains and joins.
+      }
     });
   }
 }
@@ -358,7 +366,14 @@ void TraceSink::finish() {
     impl_->cv.notify_all();
     impl_->sampler.join();
   }
-  flush();
+  // Contain drainer failures: finish() runs on tool exit paths outside any
+  // try scope, and losing the tail of a trace must not turn a finished
+  // verdict into a crash.
+  try {
+    flush();
+  } catch (...) {
+    impl_->dropped.fetch_add(1, std::memory_order_relaxed);
+  }
   std::lock_guard<std::mutex> lock(impl_->io_mu);
   impl_->summary.dropped = impl_->dropped.load(std::memory_order_relaxed);
   if (impl_->file != nullptr) {

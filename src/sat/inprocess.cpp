@@ -40,6 +40,8 @@
 
 #include "obs/trace.hpp"
 #include "sat/solver.hpp"
+#include "util/fault.hpp"
+#include "util/mem_budget.hpp"
 
 
 namespace itpseq::sat {
@@ -316,6 +318,16 @@ bool Solver::maybe_inprocess() {
   if (inprocessed_once_ &&
       stats_.conflicts - last_inprocess_conflicts_ < inprocess_interval_)
     return true;
+  {
+    // Under memory pressure an inprocessing round is the wrong move: the
+    // occurrence index is the solver's largest transient allocation.  Skip
+    // rounds from the soft rung of the ladder up (see util/mem_budget.hpp).
+    util::MemoryBudget& mb = util::MemoryBudget::instance();
+    if (mb.limited()) {
+      mb.poll();
+      if (mb.soft()) return true;
+    }
+  }
   bool alive = inprocess();
   if (!alive && proof_ && !proof_->complete() && root_conflict_ != kNoCRef)
     analyze_final(root_conflict_);
@@ -323,6 +335,7 @@ bool Solver::maybe_inprocess() {
 }
 
 bool Solver::inprocess() {
+  ITPSEQ_FAULT_POINT("sat.inprocess");
   assert(trail_lim_.empty());
   inprocessed_once_ = true;
   last_inprocess_conflicts_ = stats_.conflicts;

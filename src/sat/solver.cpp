@@ -7,6 +7,8 @@
 #include <stdexcept>
 
 #include "obs/trace.hpp"
+#include "util/fault.hpp"
+#include "util/mem_budget.hpp"
 
 namespace itpseq::sat {
 
@@ -62,6 +64,7 @@ Var Solver::new_var() {
 
 Solver::CRef Solver::alloc_clause(const std::vector<Lit>& lits, ClauseId id,
                                   bool learned, std::uint32_t lbd) {
+  ITPSEQ_FAULT_POINT("sat.arena");
 #ifdef ITPSEQ_CHECKED
   ++arena_epoch_;  // every outstanding Cls view is now stale by contract
 #endif
@@ -786,6 +789,15 @@ Status Solver::solve_assuming(const std::vector<Lit>& assumptions,
   };
   auto out_of_time = [&] {
     if (cancelled()) return true;
+    // Hard memory pressure ends the search exactly like an exhausted clock:
+    // kUnknown with whatever stats accumulated, before the allocator kills
+    // the process.  limited() is one relaxed load, so unlimited runs (the
+    // default) pay nothing.
+    util::MemoryBudget& mb = util::MemoryBudget::instance();
+    if (mb.limited()) {
+      mb.poll();
+      if (mb.hard()) return true;
+    }
     if (budget.seconds < 0) return false;
     return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
                .count() > budget.seconds;
@@ -802,6 +814,16 @@ Status Solver::solve_assuming(const std::vector<Lit>& assumptions,
     // An exhausted wall-clock budget (or a cancelled run): do not start the
     // search at all.
     return Status::kUnknown;
+  }
+  {
+    // Same entry check for the memory budget, so a run already over the
+    // limit (e.g. --mem-limit below the resident baseline) bails before
+    // building any search state.
+    util::MemoryBudget& mb = util::MemoryBudget::instance();
+    if (mb.limited()) {
+      mb.poll();
+      if (mb.hard()) return Status::kUnknown;
+    }
   }
 
   // Telemetry: this solve's contribution to the global sampler counters is
@@ -972,6 +994,18 @@ Status Solver::solve_assuming(const std::vector<Lit>& assumptions,
         maybe_simplify();
         if (!maybe_inprocess()) return Status::kUnsat;
         continue;
+      }
+      // Rung 1 of the memory-degradation ladder (see util/mem_budget.hpp):
+      // under soft pressure, shed ballast once — stop inprocessing (its
+      // occurrence index is the largest transient allocation), clamp the
+      // learnt cap, and reduce+compact immediately.  Both calls are safe at
+      // non-zero decision level (locked clauses are skipped).
+      if (!mem_degraded_ && util::MemoryBudget::instance().soft()) {
+        mem_degraded_ = true;
+        inprocess_on_ = false;
+        max_learned_ = std::min(max_learned_, 2000.0);
+        reduce_db();
+        garbage_collect();
       }
       if (static_cast<double>(learned_list_.size()) >= max_learned_) {
         reduce_db();

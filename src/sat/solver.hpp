@@ -530,6 +530,7 @@ class Solver {
   double max_learned_ = 0;
   double reduce_base_ = 1000.0;
   bool reduce_base_forced_ = false;
+  bool mem_degraded_ = false;  // rung 1 of the memory ladder taken (one-shot)
   RestartMode restart_mode_ = RestartMode::kLuby;
   std::size_t simplify_trail_ = 0;           // trail size at last remove_satisfied
   std::uint64_t simplify_props_ = 0;         // propagation count at last sweep

@@ -1,0 +1,150 @@
+#include "util/fault.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <new>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace itpseq::util::fault {
+
+namespace detail {
+std::atomic<bool> g_armed{false};
+}  // namespace detail
+
+namespace {
+
+enum class Kind : std::uint8_t { kBadAlloc, kError, kStall };
+
+struct Site {
+  std::string name;
+  std::uint64_t nth = 1;    // first firing evaluation (1-based)
+  std::uint64_t count = 1;  // firing window length
+  Kind kind = Kind::kBadAlloc;
+  unsigned stall_ms = 250;
+  std::uint64_t hits = 0;  // evaluations seen (guarded by g_mu)
+};
+
+std::mutex g_mu;
+std::vector<Site> g_sites;
+
+[[noreturn]] void bad_spec(const std::string& spec, const char* why) {
+  throw std::invalid_argument("fault spec '" + spec + "': " + why);
+}
+
+std::uint64_t parse_u64(const std::string& spec, const std::string& field,
+                        const char* what) {
+  if (field.empty() || field.find_first_not_of("0123456789") != std::string::npos)
+    bad_spec(spec, what);
+  return std::stoull(field);
+}
+
+Site parse_spec(const std::string& spec) {
+  Site s;
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t colon = spec.find(':', start);
+    if (colon == std::string::npos) colon = spec.size();
+    parts.push_back(spec.substr(start, colon - start));
+    start = colon + 1;
+  }
+  if (parts.size() < 2 || parts.size() > 4) bad_spec(spec, "want site:nth[:count[:kind]]");
+  if (parts[0].empty()) bad_spec(spec, "empty site name");
+  s.name = parts[0];
+  s.nth = parse_u64(spec, parts[1], "nth must be a positive integer");
+  if (s.nth == 0) bad_spec(spec, "nth is 1-based");
+  if (parts.size() >= 3) {
+    s.count = parse_u64(spec, parts[2], "count must be a positive integer");
+    if (s.count == 0) bad_spec(spec, "count must be >= 1");
+  }
+  if (parts.size() == 4) {
+    const std::string& k = parts[3];
+    if (k == "oom") {
+      s.kind = Kind::kBadAlloc;
+    } else if (k == "error") {
+      s.kind = Kind::kError;
+    } else if (k.rfind("stall", 0) == 0) {
+      s.kind = Kind::kStall;
+      if (k.size() > 5)
+        s.stall_ms = static_cast<unsigned>(
+            parse_u64(spec, k.substr(5), "stall duration must be integer ms"));
+    } else {
+      bad_spec(spec, "kind must be oom | error | stall[MS]");
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+void configure(const std::string& plan) {
+  std::vector<Site> parsed;
+  std::size_t i = 0;
+  while (i < plan.size()) {
+    std::size_t end = plan.find_first_of(", ", i);
+    if (end == std::string::npos) end = plan.size();
+    if (end > i) parsed.push_back(parse_spec(plan.substr(i, end - i)));
+    i = end + 1;
+  }
+  if (parsed.empty()) return;
+  std::lock_guard<std::mutex> lock(g_mu);
+  for (Site& s : parsed) g_sites.push_back(std::move(s));
+  detail::g_armed.store(true, std::memory_order_relaxed);
+}
+
+void configure_from_env() {
+  const char* plan = std::getenv("ITPSEQ_FAULTS");
+  if (plan != nullptr && plan[0] != '\0') configure(plan);
+}
+
+void clear() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_sites.clear();
+  detail::g_armed.store(false, std::memory_order_relaxed);
+}
+
+std::uint64_t hits(const char* site) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  std::uint64_t total = 0;
+  for (const Site& s : g_sites)
+    if (s.name == site) total += s.hits;
+  return total;
+}
+
+void point(const char* site) {
+  Kind fire = Kind::kBadAlloc;
+  unsigned stall_ms = 0;
+  bool firing = false;
+  std::string name;
+  {
+    std::lock_guard<std::mutex> lock(g_mu);
+    for (Site& s : g_sites) {
+      if (s.name != site) continue;
+      ++s.hits;
+      if (!firing && s.hits >= s.nth && s.hits < s.nth + s.count) {
+        firing = true;
+        fire = s.kind;
+        stall_ms = s.stall_ms;
+        name = s.name;
+      }
+    }
+  }
+  if (!firing) return;
+  switch (fire) {
+    case Kind::kBadAlloc:
+      throw std::bad_alloc();
+    case Kind::kError:
+      throw std::runtime_error("injected fault at " + name);
+    case Kind::kStall:
+      // A bounded stall: long enough to blow any test deadline, short
+      // enough that joins still complete (engines never detach work, so an
+      // unbounded block would deadlock the portfolio's join-all contract).
+      std::this_thread::sleep_for(std::chrono::milliseconds(stall_ms));
+      return;
+  }
+}
+
+}  // namespace itpseq::util::fault

@@ -1,0 +1,77 @@
+#include "util/mem_budget.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+#ifdef __linux__
+#include <unistd.h>
+#endif
+
+namespace itpseq::util {
+
+namespace {
+constexpr long long kPollIntervalUs = 4000;
+}  // namespace
+
+MemoryBudget& MemoryBudget::instance() {
+  static MemoryBudget budget;
+  return budget;
+}
+
+void MemoryBudget::set_limit_mb(std::size_t mb) {
+  limit_bytes_.store(mb * std::size_t{1024} * 1024, std::memory_order_relaxed);
+  level_.store(0, std::memory_order_relaxed);
+  last_poll_us_.store(0, std::memory_order_relaxed);
+}
+
+int MemoryBudget::level_for(std::size_t usage_bytes, std::size_t limit_bytes) {
+  if (limit_bytes == 0) return 0;
+  if (usage_bytes >= limit_bytes) return 2;
+  // Soft threshold at 80% of the limit, computed without overflow-prone
+  // division: usage/limit >= 4/5  <=>  5*usage >= 4*limit.
+  if (usage_bytes / 4 >= limit_bytes / 5) return 1;
+  return 0;
+}
+
+std::size_t MemoryBudget::resident_bytes() {
+#ifdef __linux__
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  unsigned long long vm_pages = 0, rss_pages = 0;
+  int got = std::fscanf(f, "%llu %llu", &vm_pages, &rss_pages);
+  std::fclose(f);
+  if (got != 2) return 0;
+  static const long page = sysconf(_SC_PAGESIZE);
+  return static_cast<std::size_t>(rss_pages) * static_cast<std::size_t>(page);
+#else
+  return 0;
+#endif
+}
+
+void MemoryBudget::poll() {
+  std::size_t limit = limit_bytes_.load(std::memory_order_relaxed);
+  if (limit == 0) return;
+  const long long now = std::chrono::duration_cast<std::chrono::microseconds>(
+                            std::chrono::steady_clock::now().time_since_epoch())
+                            .count();
+  long long last = last_poll_us_.load(std::memory_order_relaxed);
+  if (now - last < kPollIntervalUs) return;
+  // One thread refreshes per interval; the rest keep the cached level.
+  if (!last_poll_us_.compare_exchange_strong(last, now, std::memory_order_relaxed))
+    return;
+  const int lv = level_for(resident_bytes(), limit);
+  // The ladder only climbs: a transient dip below the threshold after a GC
+  // must not re-enable the ballast that was just shed.
+  int cur = level_.load(std::memory_order_relaxed);
+  while (lv > cur &&
+         !level_.compare_exchange_weak(cur, lv, std::memory_order_relaxed)) {
+  }
+}
+
+void MemoryBudget::reset() {
+  limit_bytes_.store(0, std::memory_order_relaxed);
+  level_.store(0, std::memory_order_relaxed);
+  last_poll_us_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace itpseq::util

@@ -1,0 +1,64 @@
+// mem_budget.hpp — process-wide memory budget with a degradation ladder.
+//
+// `itpseq-mc --mem-limit MB` arms a resident-set budget that the SAT core
+// polls at the same places it already polls the wall clock.  Crossing it is
+// graded, not binary:
+//
+//   level 0  fine        below 80% of the limit; no behavior change
+//   level 1  soft        >= 80%: shed ballast — skip inprocessing rounds
+//                        (the occurrence index is the largest transient
+//                        allocation), clamp the learnt-clause cap, and run
+//                        an aggressive reduce_db + GC once
+//   level 2  hard        at/over the limit: bail out of search with
+//                        kUnknown and whatever stats accumulated, before
+//                        the allocator aborts the process for us
+//
+// Like the wall-clock budget, this is cooperative: poll() is throttled and
+// reads /proc/self/statm, and `hard()`/`soft()` are single relaxed atomic
+// loads, so an unlimited run (the default) costs one branch per poll site.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+namespace itpseq::util {
+
+class MemoryBudget {
+ public:
+  static MemoryBudget& instance();
+
+  /// Arm a resident-set budget of `mb` megabytes; 0 disarms.
+  void set_limit_mb(std::size_t mb);
+
+  /// True iff a budget is armed.  Guard for poll() call sites.
+  bool limited() const { return limit_bytes_.load(std::memory_order_relaxed) != 0; }
+
+  /// Refresh the pressure level from current resident-set size.  Throttled
+  /// internally (~4 ms); cheap enough for conflict-loop cadence.  No-op
+  /// when unlimited.
+  void poll();
+
+  /// Pressure level as of the last poll: 0 fine, 1 soft, 2 hard.
+  int level() const { return level_.load(std::memory_order_relaxed); }
+  bool soft() const { return level() >= 1; }
+  bool hard() const { return level() >= 2; }
+
+  /// Pure grading rule (unit-testable): map usage against a limit to a
+  /// ladder level.  limit == 0 means unlimited.
+  static int level_for(std::size_t usage_bytes, std::size_t limit_bytes);
+
+  /// Current resident-set size in bytes (0 where unsupported).
+  static std::size_t resident_bytes();
+
+  /// Disarm and reset all state (tests).
+  void reset();
+
+ private:
+  MemoryBudget() = default;
+
+  std::atomic<std::size_t> limit_bytes_{0};
+  std::atomic<int> level_{0};
+  std::atomic<long long> last_poll_us_{0};
+};
+
+}  // namespace itpseq::util

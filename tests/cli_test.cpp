@@ -57,18 +57,18 @@ class CliTest : public ::testing::Test {
 std::string CliTest::pass_aag_;
 std::string CliTest::fail_aag_;
 
-TEST_F(CliTest, McPassExitCode20) {
+TEST_F(CliTest, McPassExitCode0) {
   std::string out;
   int rc = run(tool("itpseq-mc") + " -q -t 30 " + pass_aag_, &out);
-  EXPECT_EQ(rc, 20);
+  EXPECT_EQ(rc, 0);
   EXPECT_NE(out.find("s PASS"), std::string::npos);
 }
 
-TEST_F(CliTest, McFailExitCode10WithValidWitness) {
+TEST_F(CliTest, McFailExitCode1WithValidWitness) {
   std::string out;
   int rc = run(tool("itpseq-mc") + " -q -t 30 --validate -w - " + fail_aag_,
                &out);
-  EXPECT_EQ(rc, 10);
+  EXPECT_EQ(rc, 1);
   EXPECT_NE(out.find("s FAIL"), std::string::npos);
   EXPECT_NE(out.find("1\nb0\n"), std::string::npos) << out;  // witness header
 }
@@ -78,7 +78,7 @@ TEST_F(CliTest, McSatRestartModesAgree) {
   for (const char* mode : {"luby", "ema"}) {
     std::string cmd = tool("itpseq-mc") + " -q -t 30 -e pdr --sat-restarts " +
                       std::string(mode) + " " + fail_aag_;
-    EXPECT_EQ(run(cmd), 10) << mode;
+    EXPECT_EQ(run(cmd), 1) << mode;
   }
 }
 
@@ -88,7 +88,7 @@ TEST_F(CliTest, McBmcIncrementalModesAgree) {
   for (const char* mode : {"--incremental=on", "--incremental=off"}) {
     std::string cmd = tool("itpseq-mc") + " -q -t 30 -e bmc " +
                       std::string(mode) + " " + fail_aag_;
-    EXPECT_EQ(run(cmd), 10) << mode;
+    EXPECT_EQ(run(cmd), 1) << mode;
   }
 }
 
@@ -98,12 +98,12 @@ TEST_F(CliTest, McEveryEngineAgrees) {
         "itpseq-cba-pba", "pdr", "bmc", "kind", "bdd", "portfolio"}) {
     std::string cmd =
         tool("itpseq-mc") + " -q -t 30 -e " + e + " " + fail_aag_;
-    EXPECT_EQ(run(cmd), 10) << e;
+    EXPECT_EQ(run(cmd), 1) << e;
   }
   for (const char* e : {"itp", "itpseq", "sitpseq", "pdr", "kind", "bdd"}) {
     std::string cmd =
         tool("itpseq-mc") + " -q -t 30 -e " + e + " " + pass_aag_;
-    EXPECT_EQ(run(cmd), 20) << e;
+    EXPECT_EQ(run(cmd), 0) << e;
   }
 }
 
@@ -114,12 +114,12 @@ TEST_F(CliTest, McCertifyPassVerdicts) {
     int rc = run(tool("itpseq-mc") + " -t 30 --certify -e " + e + " " +
                      pass_aag_,
                  &out);
-    EXPECT_EQ(rc, 20) << e;
+    EXPECT_EQ(rc, 0) << e;
     EXPECT_NE(out.find("certificate: OK"), std::string::npos) << e;
   }
   // Engines without certificates must report an error under --certify.
   EXPECT_EQ(run(tool("itpseq-mc") + " -t 30 --certify -e bdd " + pass_aag_),
-            1);
+            2);
 }
 
 TEST_F(CliTest, McPdrEndToEnd) {
@@ -128,11 +128,11 @@ TEST_F(CliTest, McPdrEndToEnd) {
   int rc = run(tool("itpseq-mc") + " -q -t 30 -e pdr --validate -w - " +
                    fail_aag_,
                &out);
-  EXPECT_EQ(rc, 10);
+  EXPECT_EQ(rc, 1);
   EXPECT_NE(out.find("1\nb0\n"), std::string::npos) << out;
   // PASS side: the engine's inductive invariant re-checked independently.
   rc = run(tool("itpseq-mc") + " -t 30 -e pdr --certify " + pass_aag_, &out);
-  EXPECT_EQ(rc, 20);
+  EXPECT_EQ(rc, 0);
   EXPECT_NE(out.find("certificate: OK"), std::string::npos) << out;
 }
 
@@ -140,7 +140,7 @@ TEST_F(CliTest, McExportedInvariantIsACertificate) {
   std::string inv = temp_path("inv.blif");
   ASSERT_EQ(run(tool("itpseq-mc") + " -q -t 30 --invariant " + inv + " " +
                 pass_aag_),
-            20);
+            0);
   // Reload the exported invariant and re-check it as a certificate for
   // the original model — full independence from the engine run.
   aig::Aig model = bench::token_ring(6, false);
@@ -156,13 +156,13 @@ TEST_F(CliTest, McQuietEmitsOnlyTheVerdictLine) {
   // --quiet must suppress every "c ..." comment line: stdout is exactly the
   // solution line, so scripts can `read verdict < <(itpseq-mc -q ...)`.
   std::string out;
-  EXPECT_EQ(run(tool("itpseq-mc") + " -q -t 30 " + pass_aag_, &out), 20);
+  EXPECT_EQ(run(tool("itpseq-mc") + " -q -t 30 " + pass_aag_, &out), 0);
   EXPECT_EQ(out, "s PASS\n");
   EXPECT_EQ(run(tool("itpseq-mc") + " -q -t 30 -e bmc " + fail_aag_, &out),
-            10);
+            1);
   EXPECT_EQ(out, "s FAIL\n");
   // Without --quiet the comment lines are present.
-  EXPECT_EQ(run(tool("itpseq-mc") + " -t 30 " + pass_aag_, &out), 20);
+  EXPECT_EQ(run(tool("itpseq-mc") + " -t 30 " + pass_aag_, &out), 0);
   EXPECT_NE(out.find("c engine="), std::string::npos) << out;
 }
 
@@ -172,7 +172,7 @@ TEST_F(CliTest, McTraceAndStatsJsonFilesAreWritten) {
   std::string stats = temp_path("run_stats.json");
   ASSERT_EQ(run(tool("itpseq-mc") + " -q -t 30 -e pdr --trace-out " + trace +
                 " --stats-json " + stats + " " + pass_aag_),
-            20);
+            0);
   // JSONL: non-empty, every line carries the schema keys.
   std::ifstream in(trace);
   std::string line;
@@ -200,7 +200,7 @@ TEST_F(CliTest, McTraceAndStatsJsonFilesAreWritten) {
   ASSERT_EQ(run(tool("itpseq-mc") + " -q -t 30 -e portfolio -j 4 " +
                 "--trace-out " + chrome + " --trace-format chrome " +
                 pass_aag_),
-            20);
+            0);
   std::string body;
   {
     std::ifstream cin2(chrome);
@@ -213,14 +213,75 @@ TEST_F(CliTest, McTraceAndStatsJsonFilesAreWritten) {
   EXPECT_EQ(body[body.find_last_not_of("\n")], ']');
   EXPECT_NE(body.find("\"ph\":\"X\""), std::string::npos);
   // Unknown trace format is a usage error.
-  EXPECT_EQ(run(tool("itpseq-mc") + " --trace-format yaml " + pass_aag_), 1);
+  EXPECT_EQ(run(tool("itpseq-mc") + " --trace-format yaml " + pass_aag_), 2);
 }
 
 TEST_F(CliTest, McUsageErrors) {
-  EXPECT_EQ(run(tool("itpseq-mc")), 1);
-  EXPECT_EQ(run(tool("itpseq-mc") + " -e nonsense " + pass_aag_), 1);
-  EXPECT_EQ(run(tool("itpseq-mc") + " /nonexistent.aag"), 1);
-  EXPECT_EQ(run(tool("itpseq-mc") + " -p 9 " + pass_aag_), 1);
+  EXPECT_EQ(run(tool("itpseq-mc")), 2);
+  EXPECT_EQ(run(tool("itpseq-mc") + " -e nonsense " + pass_aag_), 2);
+  EXPECT_EQ(run(tool("itpseq-mc") + " /nonexistent.aag"), 2);
+  EXPECT_EQ(run(tool("itpseq-mc") + " -p 9 " + pass_aag_), 2);
+}
+
+TEST_F(CliTest, McResourceExhaustionIsExitCode3) {
+  // Both exhausted budgets — wall clock and memory — end in a clean
+  // UNKNOWN (exit 3, retryable with more resources), never a crash.
+  std::string out;
+  EXPECT_EQ(run(tool("itpseq-mc") + " -q -t 0 -e bmc " + pass_aag_, &out), 3);
+  EXPECT_NE(out.find("s UNKNOWN"), std::string::npos) << out;
+  EXPECT_EQ(run(tool("itpseq-mc") + " -q -t 30 --mem-limit 1 -e bmc " +
+                pass_aag_),
+            3);
+}
+
+TEST_F(CliTest, McInjectedFaultIsExitCode4) {
+  // Interpolant extraction throws on every call: the single-engine run has
+  // nothing left to report but a contained internal error.
+  std::string out;
+  int rc = run(tool("itpseq-mc") + " -q -t 30 -e itp --inject-fault " +
+                   "itp.extract:1:1000000 " + pass_aag_,
+               &out);
+  EXPECT_EQ(rc, 4);
+  EXPECT_NE(out.find("s ERROR"), std::string::npos) << out;
+}
+
+TEST_F(CliTest, McPortfolioSurvivesAMemberFault) {
+  // The same fault inside the portfolio only kills the interpolation
+  // members; a survivor still falsifies and the run reports its outcome
+  // roster.
+  std::string out;
+  int rc = run(tool("itpseq-mc") + " -t 30 -e portfolio --inject-fault " +
+                   "itp.extract:1:1000000 " + fail_aag_,
+               &out);
+  EXPECT_EQ(rc, 1);
+  EXPECT_NE(out.find("s FAIL"), std::string::npos) << out;
+  EXPECT_NE(out.find("c member"), std::string::npos) << out;
+}
+
+TEST_F(CliTest, McFaultPlanFromEnvironment) {
+  std::string out;
+  int rc = run("ITPSEQ_FAULTS=itp.extract:1:1000000 " + tool("itpseq-mc") +
+                   " -q -t 30 -e itp " + pass_aag_,
+               &out);
+  EXPECT_EQ(rc, 4);
+  EXPECT_NE(out.find("s ERROR"), std::string::npos) << out;
+}
+
+TEST_F(CliTest, McBadFaultAndMemLimitFlagsAreUsageErrors) {
+  EXPECT_EQ(run(tool("itpseq-mc") + " --inject-fault bogus " + pass_aag_), 2);
+  EXPECT_EQ(run(tool("itpseq-mc") + " --inject-fault s:0 " + pass_aag_), 2);
+  EXPECT_EQ(run(tool("itpseq-mc") + " --mem-limit lots " + pass_aag_), 2);
+}
+
+TEST_F(CliTest, McHostileHeaderIsRejectedNotAllocated) {
+  // A header demanding a billion ANDs from a one-line file must be turned
+  // away at load time (exit 2), not taken on faith by the allocator.
+  std::string hostile = temp_path("hostile.aag");
+  {
+    std::ofstream f(hostile);
+    f << "aag 1000000000 1000000000 0 0 0\n";
+  }
+  EXPECT_EQ(run(tool("itpseq-mc") + " -q " + hostile), 2);
 }
 
 TEST_F(CliTest, AigtoolStats) {
@@ -237,17 +298,17 @@ TEST_F(CliTest, AigtoolConvertRoundTripsAllFormats) {
   ASSERT_EQ(run(tool("aigtool") + " convert " + blif + " " + aigb), 0);
   ASSERT_EQ(run(tool("aigtool") + " convert " + aigb + " " + aag), 0);
   // The final AIGER must still PASS.
-  EXPECT_EQ(run(tool("itpseq-mc") + " -q -t 30 " + aag), 20);
+  EXPECT_EQ(run(tool("itpseq-mc") + " -q -t 30 " + aag), 0);
 }
 
 TEST_F(CliTest, AigtoolOptPreservesVerdicts) {
   std::string opt = temp_path("opt.aag");
   ASSERT_EQ(run(tool("aigtool") + " opt " + fail_aag_ + " " + opt), 0);
-  EXPECT_EQ(run(tool("itpseq-mc") + " -q -t 30 " + opt), 10);
+  EXPECT_EQ(run(tool("itpseq-mc") + " -q -t 30 " + opt), 1);
   ASSERT_EQ(run(tool("aigtool") + " opt " + pass_aag_ + " " + opt +
                 " --fraig --balance"),
             0);
-  EXPECT_EQ(run(tool("itpseq-mc") + " -q -t 30 " + opt), 20);
+  EXPECT_EQ(run(tool("itpseq-mc") + " -q -t 30 " + opt), 0);
 }
 
 TEST_F(CliTest, AigtoolSimFindsShallowFailure) {

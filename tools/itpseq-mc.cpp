@@ -6,11 +6,15 @@
 // with the depth measures of Table I.  Counterexamples can be minimized,
 // validated by replay, and written as AIGER witnesses.
 //
-// Exit codes follow the HWMCC/SAT convention:
-//   20  property holds (PASS)
-//   10  property violated (FAIL; witness available)
-//    0  undecided within the budget (UNKNOWN)
-//    1  usage or input error
+// Exit-code contract (stable; scripts may rely on it):
+//    0  verdict reached: property holds (PASS)
+//    1  verdict reached: property violated (FAIL; witness available)
+//    2  usage error: bad flags, unreadable/corrupt input, property out of
+//       range, certification requested from an engine that cannot certify
+//    3  resource-exhausted: no verdict within the wall-clock/memory budget
+//       (UNKNOWN; partial stats are still reported)
+//    4  internal error: an engine failed (ERROR verdict), a witness or
+//       certificate failed validation, or a report could not be written
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
@@ -32,6 +36,8 @@
 #include "mc/witness.hpp"
 #include "bdd/reach.hpp"
 #include "obs/trace.hpp"
+#include "util/fault.hpp"
+#include "util/mem_budget.hpp"
 
 using namespace itpseq;
 
@@ -50,6 +56,20 @@ void usage(const char* argv0) {
                "                    (default sitpseq)\n"
                "  -p, --property N  bad-output index to check (default 0)\n"
                "  -t, --timeout S   wall-clock budget in seconds (default 60)\n"
+               "      --mem-limit MB\n"
+               "                    resident-set budget in megabytes (default\n"
+               "                    unlimited).  Crossing 80%% sheds solver\n"
+               "                    ballast (inprocessing off, aggressive\n"
+               "                    clause-DB reduction); at the limit the\n"
+               "                    run ends cleanly with UNKNOWN and partial\n"
+               "                    stats instead of an allocator abort\n"
+               "      --inject-fault SPEC\n"
+               "                    deterministic fault injection for testing\n"
+               "                    containment: SPEC is a comma-separated\n"
+               "                    list of site:nth[:count[:kind]] with kind\n"
+               "                    oom (default) | error | stall[MS]; also\n"
+               "                    settable via ITPSEQ_FAULTS (see\n"
+               "                    src/util/fault.hpp for the site list)\n"
                "  -k, --max-bound K BMC bound limit (default 500)\n"
                "      --scheme S    exact | assume   BMC target scheme (default assume)\n"
                "      --itp-system S mcmillan | pudlak | inverse  (default mcmillan)\n"
@@ -102,6 +122,14 @@ void usage(const char* argv0) {
                "                    stdout carries only the 's VERDICT' line\n"
                "  -h, --help        this message\n"
                "\n"
+               "exit codes:\n"
+               "  0  PASS    property holds\n"
+               "  1  FAIL    property violated (witness available)\n"
+               "  2  usage/input error (bad flags, corrupt file, bad range)\n"
+               "  3  UNKNOWN resource budget exhausted, partial stats emitted\n"
+               "  4  ERROR   engine failure, validation failure, or write\n"
+               "             failure\n"
+               "\n"
                "Tracing a run:\n"
                "  %s -e portfolio -j 4 --trace-out run.trace \\\n"
                "      --trace-format chrome --stats-json run.json design.aig\n"
@@ -140,6 +168,8 @@ struct Args {
   obs::TraceConfig::Format trace_format = obs::TraceConfig::Format::kJsonl;
   std::string stats_json_file;
   bool progress = false;
+  std::size_t mem_limit_mb = 0;  // 0 = unlimited
+  std::string inject_fault;      // fault plan (validated in main)
   mc::EngineOptions opts;
 };
 
@@ -157,6 +187,19 @@ bool parse_args(int argc, char** argv, Args& a) {
     if (s == "-h" || s == "--help") return false;
     if (s == "-e" || s == "--engine") {
       if (!(v = need(i))) return false;
+      // Keep in sync with dispatch(): an unknown engine is a usage error
+      // (exit 2), not an engine failure discovered after the model loads.
+      static const char* const kEngines[] = {
+          "itp",  "itp-part",       "itpseq", "sitpseq", "itpseq-cba",
+          "itpseq-pba", "itpseq-cba-pba", "pdr",    "bmc",     "kind",
+          "portfolio",  "bdd"};
+      bool known = false;
+      for (const char* name : kEngines)
+        if (!std::strcmp(v, name)) known = true;
+      if (!known) {
+        std::fprintf(stderr, "unknown engine '%s'\n", v);
+        return false;
+      }
       a.engine = v;
     } else if (s == "-p" || s == "--property") {
       if (!(v = need(i))) return false;
@@ -164,6 +207,12 @@ bool parse_args(int argc, char** argv, Args& a) {
     } else if (s == "-t" || s == "--timeout") {
       if (!(v = need(i))) return false;
       a.timeout = std::stod(v);
+    } else if (s == "--mem-limit") {
+      if (!(v = need(i))) return false;
+      a.mem_limit_mb = std::stoul(v);
+    } else if (s == "--inject-fault") {
+      if (!(v = need(i))) return false;
+      a.inject_fault = v;
     } else if (s == "-k" || s == "--max-bound") {
       if (!(v = need(i))) return false;
       a.max_bound = static_cast<unsigned>(std::stoul(v));
@@ -329,21 +378,38 @@ mc::EngineResult dispatch(const Args& a, const aig::Aig& g) {
 
 int main(int argc, char** argv) {
   Args a;
-  if (!parse_args(argc, argv, a)) {
-    usage(argv[0]);
-    return 1;
+  bool args_ok = false;
+  try {
+    args_ok = parse_args(argc, argv, a);
+  } catch (const std::exception& ex) {
+    // Malformed numerics (std::stoul and friends) are usage errors, not
+    // uncaught-exception aborts.
+    std::fprintf(stderr, "%s: bad argument: %s\n", argv[0], ex.what());
   }
+  if (!args_ok) {
+    usage(argv[0]);
+    return 2;
+  }
+  try {
+    util::fault::configure_from_env();
+    if (!a.inject_fault.empty()) util::fault::configure(a.inject_fault);
+  } catch (const std::invalid_argument& ex) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], ex.what());
+    return 2;
+  }
+  if (a.mem_limit_mb != 0)
+    util::MemoryBudget::instance().set_limit_mb(a.mem_limit_mb);
   aig::Aig g;
   try {
     g = load(a.file);
   } catch (const std::exception& ex) {
     std::fprintf(stderr, "%s: %s\n", argv[0], ex.what());
-    return 1;
+    return 2;
   }
   if (a.property >= g.num_outputs() && g.num_outputs() > 0) {
     std::fprintf(stderr, "%s: property %zu out of range (%zu outputs)\n",
                  argv[0], a.property, g.num_outputs());
-    return 1;
+    return 2;
   }
   if (!a.quiet)
     std::printf("c %s: %zu inputs, %zu latches, %zu ands, %zu outputs\n",
@@ -366,15 +432,17 @@ int main(int argc, char** argv) {
   try {
     r = dispatch(a, g);
   } catch (const std::exception& ex) {
+    // Engines contain their own failures (Verdict::kError); reaching this
+    // boundary means the dispatch plumbing itself broke.
     std::fprintf(stderr, "%s: %s\n", argv[0], ex.what());
-    return 1;
+    return 4;
   }
   if (sink != nullptr) sink->finish();
   if (!a.stats_json_file.empty() &&
       !mc::write_stats_json(a.stats_json_file, r, sink.get(), "itpseq-mc",
                             a.file)) {
     std::fprintf(stderr, "cannot write %s\n", a.stats_json_file.c_str());
-    return 1;
+    return 4;
   }
 
   // The BDD engine reports FAIL without a concrete trace.
@@ -385,7 +453,7 @@ int main(int argc, char** argv) {
   if (have_trace && a.validate && !mc::trace_is_cex(g, r.cex, a.property)) {
     std::fprintf(stderr, "%s: internal error: witness failed validation\n",
                  argv[0]);
-    return 1;
+    return 4;
   }
   if (r.verdict == mc::Verdict::kPass && a.certify) {
     if (!r.certificate.has_value()) {
@@ -393,13 +461,13 @@ int main(int argc, char** argv) {
                    "%s: engine '%s' does not emit certificates; rerun with "
                    "an interpolation engine\n",
                    argv[0], r.engine.c_str());
-      return 1;
+      return 2;
     }
     mc::CertifyResult c = mc::check_certificate(g, a.property, *r.certificate);
     if (!c.ok) {
       std::fprintf(stderr, "%s: certificate check failed: %s\n", argv[0],
                    c.error.c_str());
-      return 1;
+      return 4;
     }
     if (!a.quiet)
       std::printf("c certificate: OK (invariant %zu AND nodes)\n",
@@ -409,7 +477,7 @@ int main(int argc, char** argv) {
     if (!r.certificate.has_value()) {
       std::fprintf(stderr, "%s: engine '%s' does not emit certificates\n",
                    argv[0], r.engine.c_str());
-      return 1;
+      return 2;
     }
     aig::Aig inv = r.certificate->graph;  // copy; add the root as output
     inv.add_output(r.certificate->root, "invariant");
@@ -433,7 +501,23 @@ int main(int argc, char** argv) {
     if (r.stats.lemmas_published > 0 || r.stats.lemmas_consumed > 0)
       std::printf("c exchange: published=%" PRIu64 " consumed=%" PRIu64 "\n",
                   r.stats.lemmas_published, r.stats.lemmas_consumed);
+    // Per-member fates (portfolio): lets a user see which member won, which
+    // ran out of budget, and which crashed with what error.
+    for (const mc::MemberOutcome& m : r.members) {
+      if (m.error.kind != mc::ErrorKind::kNone)
+        std::printf("c member %s verdict=%s time=%.3fs error=%s: %s\n",
+                    m.member.c_str(), mc::to_string(m.verdict), m.seconds,
+                    mc::to_string(m.error.kind), m.error.message.c_str());
+      else
+        std::printf("c member %s verdict=%s time=%.3fs\n", m.member.c_str(),
+                    mc::to_string(m.verdict), m.seconds);
+    }
   }
+  // Structured error summary on stderr for kError (and watchdog-annotated
+  // kUnknown), mirroring the stats-json "error" object.
+  if (r.error.kind != mc::ErrorKind::kNone)
+    std::fprintf(stderr, "%s: engine error: kind=%s %s\n", argv[0],
+                 mc::to_string(r.error.kind), r.error.message.c_str());
   std::printf("s %s\n", mc::to_string(r.verdict));
 
   if (r.verdict == mc::Verdict::kFail && !a.witness_file.empty()) {
@@ -448,15 +532,16 @@ int main(int argc, char** argv) {
       std::ofstream out(a.witness_file);
       if (!out) {
         std::fprintf(stderr, "cannot write %s\n", a.witness_file.c_str());
-        return 1;
+        return 4;
       }
       mc::write_witness(r.cex, a.property, out);
     }
   }
   switch (r.verdict) {
-    case mc::Verdict::kPass: return 20;
-    case mc::Verdict::kFail: return 10;
-    case mc::Verdict::kUnknown: return 0;
+    case mc::Verdict::kPass: return 0;
+    case mc::Verdict::kFail: return 1;
+    case mc::Verdict::kUnknown: return 3;
+    case mc::Verdict::kError: return 4;
   }
-  return 0;
+  return 4;
 }
