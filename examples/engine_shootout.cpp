@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
 
 #include "bench_circuits/suite.hpp"
@@ -44,6 +45,15 @@ int main(int argc, char** argv) {
                           "PDR"};
   mc::EngineStats totals[6];
 
+  // Portfolio self-healing ledger: per member, runs / relaunches and the
+  // error kind behind the most recent relaunch (see the footer).
+  struct MemberHealth {
+    std::uint64_t runs = 0;
+    std::uint64_t restarts = 0;
+    std::string last_error = "-";
+  };
+  std::map<std::string, MemberHealth> health;
+
   for (auto& inst : bench::make_academic_suite()) {
     if (!filter.empty() && inst.family.find(filter) == std::string::npos)
       continue;
@@ -60,6 +70,13 @@ int main(int argc, char** argv) {
     totals[3] += c.stats;
     totals[4] += d.stats;
     totals[5] += p.stats;
+    for (const mc::MemberOutcome& m : pf.members) {
+      MemberHealth& h = health[m.member];
+      ++h.runs;
+      h.restarts += m.restarts;
+      if (m.last_error.kind != mc::ErrorKind::kNone)
+        h.last_error = mc::to_string(m.last_error.kind);
+    }
     const char* pf_winner = std::strchr(pf.engine.c_str(), '/');
     pf_winner = pf_winner != nullptr ? pf_winner + 1 : "-";
     char pf_cell[80];
@@ -107,5 +124,17 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(t.sat_failed_literals +
                                         t.sat_hyper_binaries));
   }
+
+  // Self-healing footer: a healthy suite shows 0 restarts everywhere; a
+  // nonzero row names the member the retry/backoff ladder had to relaunch
+  // (rerun with --stats-json / ITPSEQ_TRACE for the per-run detail).
+  std::printf("\nportfolio self-healing (per member, over the suite):\n");
+  std::printf("%-12s %6s %9s %12s\n", "member", "runs", "restarts",
+              "last_error");
+  for (const auto& [member, h] : health)
+    std::printf("%-12s %6llu %9llu %12s\n", member.c_str(),
+                static_cast<unsigned long long>(h.runs),
+                static_cast<unsigned long long>(h.restarts),
+                h.last_error.c_str());
   return 0;
 }

@@ -1,0 +1,60 @@
+// lint-fixture-path: src/mc/lint_fixture_l7.cpp
+//
+// L7 seeded violations: file writes in the publication layers (src/mc/,
+// src/util/) that target the final path in place — a crash mid-write
+// leaves a torn file where a consumer expects a complete one.  The
+// negatives are read-only opens, the sanctioned util::atomic_write_file
+// call, and an explicitly suppressed streaming sink.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace itpseq::mc {
+
+bool atomic_write_file(const std::string& path, const std::string& body);
+
+void torn_writes(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");  // lint-expect: L7
+  if (f != nullptr) {
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+  }
+  std::FILE* g = std::fopen(path.c_str(), "ab");  // lint-expect: L7
+  if (g != nullptr) std::fclose(g);
+  std::FILE* h = std::fopen(path.c_str(), "r+b");  // lint-expect: L7
+  if (h != nullptr) std::fclose(h);
+}
+
+void torn_streams(const std::string& path) {
+  std::ofstream out(path);  // lint-expect: L7
+  out << "partial";
+  std::fstream io(path, std::ios::in | std::ios::out);  // lint-expect: L7
+}
+
+void computed_mode(const std::string& path, const char* mode) {
+  // The linter cannot prove a computed mode reads, so it must assume write.
+  std::FILE* f = std::fopen(path.c_str(), mode);  // lint-expect: L7
+  if (f != nullptr) std::fclose(f);
+}
+
+// ---- negatives ------------------------------------------------------------
+
+void read_only(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");  // reads don't publish
+  if (f != nullptr) std::fclose(f);
+  std::ifstream in(path);  // ifstream cannot write
+}
+
+bool sanctioned(const std::string& path, const std::string& body) {
+  return atomic_write_file(path, body);  // the atomic temp+rename helper
+}
+
+void suppressed_stream_sink(const std::string& path) {
+  // A genuine streaming sink may opt out with a reviewed suppression.
+  // itpseq-lint: allow(L7) event stream, cannot buffer the whole run
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f != nullptr) std::fclose(f);
+}
+
+}  // namespace itpseq::mc

@@ -8,6 +8,7 @@ from rules import (  # noqa: F401
     l4_occ_iteration,
     l5_hygiene,
     l6_thread_boundaries,
+    l7_atomic_writes,
 )
 
 ALL_RULES = [
@@ -17,4 +18,5 @@ ALL_RULES = [
     l4_occ_iteration,
     l5_hygiene,
     l6_thread_boundaries,
+    l7_atomic_writes,
 ]

@@ -9,6 +9,8 @@ the type system cannot see (and a reviewer forgets under load):
   L3  un-gated obs::emit / allocation in always-on obs args  (src/)
   L4  range-for over a container its body may mutate         (src/)
   L5  banned patterns, include hygiene, header guards        (everywhere)
+  L6  inline std::thread lambda without a try boundary       (src/ tools/)
+  L7  file write bypassing the atomic temp+rename helper     (src/mc/ src/util/)
 
 Usage:
     scripts/lint/run.py                 # lint src/ tools/ bench/ tests/

@@ -33,8 +33,7 @@ void BmcEngine::execute(EngineResult& out) {
     obs::Span obs_bound("bound", {{"k", k}});
     feed.poll();
     sat::Solver solver;
-    solver.set_restart_mode(opts_.sat_restarts);
-    solver.set_inprocess(opts_.sat_inprocess);
+    opts_.apply_sat_options(solver);
     cnf::Unroller unr(model_, solver);
     unr.assert_init(0);
     for (unsigned t = 0; t < k; ++t) unr.add_transition(t, 0);
@@ -90,8 +89,7 @@ void BmcEngine::execute_incremental(EngineResult& out) {
   // exact-assume scheme the "no earlier failure" clauses become permanent
   // as the bound moves on, which encodes "first failure at depth k".
   sat::Solver solver;
-  solver.set_restart_mode(opts_.sat_restarts);
-  solver.set_inprocess(opts_.sat_inprocess);
+  opts_.apply_sat_options(solver);
   cnf::Unroller unr(model_, solver);
   unr.assert_init(0);
   unr.assert_constraints(0, 0);

@@ -50,7 +50,8 @@ ErrorInfo classify_exception(const std::exception& e) {
   info.message = e.what();
   if (dynamic_cast<const std::ios_base::failure*>(&e) != nullptr ||
       info.message.rfind("aiger:", 0) == 0 ||
-      info.message.rfind("blif:", 0) == 0) {
+      info.message.rfind("blif:", 0) == 0 ||
+      info.message.rfind("snapshot:", 0) == 0) {
     info.kind = ErrorKind::kIoError;
   } else {
     info.kind = ErrorKind::kInternal;
@@ -118,8 +119,7 @@ bool Engine::preliminary_checks(EngineResult& out) {
   }
   // Depth-0 check: S0 AND bad(V^0).
   sat::Solver solver;
-  solver.set_restart_mode(opts_.sat_restarts);
-  solver.set_inprocess(opts_.sat_inprocess);
+  opts_.apply_sat_options(solver);
   cnf::Unroller unr(model_, solver);
   unr.assert_init(0);
   unr.assert_constraints(0, 0);

@@ -61,8 +61,7 @@ ItpSeqEngine::ShiftedSolve ItpSeqEngine::solve_shifted(aig::Lit start,
                                                        bool concrete) {
   ShiftedSolve s;
   s.solver = std::make_unique<sat::Solver>();
-  s.solver->set_restart_mode(opts_.sat_restarts);
-    s.solver->set_inprocess(opts_.sat_inprocess);
+  opts_.apply_sat_options(*s.solver);
   s.solver->enable_proof();
   s.unroller = std::make_unique<cnf::Unroller>(
       model_, *s.solver, concrete ? std::vector<bool>{} : visible_);

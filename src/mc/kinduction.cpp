@@ -29,8 +29,7 @@ void KInductionEngine::execute(EngineResult& out) {
   // Incremental step-case solver: the uninitialized unrolling grows with k;
   // "good" constraints become permanent, targets are assumed per bound.
   sat::Solver step;
-  step.set_restart_mode(opts_.sat_restarts);
-  step.set_inprocess(opts_.sat_inprocess);
+  opts_.apply_sat_options(step);
   cnf::Unroller step_unr(model_, step);
   step_unr.assert_constraints(0, 0);
 
@@ -70,8 +69,7 @@ void KInductionEngine::execute(EngineResult& out) {
     {
       obs::Span obs_base("base", {{"k", k}});
       sat::Solver solver;
-      solver.set_restart_mode(opts_.sat_restarts);
-      solver.set_inprocess(opts_.sat_inprocess);
+      opts_.apply_sat_options(solver);
       cnf::Unroller unr(model_, solver);
       unr.assert_init(0);
       for (unsigned t = 0; t < k; ++t) unr.add_transition(t, 0);

@@ -128,6 +128,17 @@ std::vector<Lemma> LemmaExchange::fetch(std::size_t& cursor,
   return out;
 }
 
+std::vector<Lemma> LemmaExchange::export_lemmas() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Lemma> out;
+  out.reserve(lemmas_.size());
+  for (std::size_t i = 0; i < lemmas_.size(); ++i) {
+    if (dead_[i]) continue;
+    out.push_back(lemmas_[i]);
+  }
+  return out;
+}
+
 std::size_t LemmaExchange::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return lemmas_.size();

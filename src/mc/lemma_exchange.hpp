@@ -100,6 +100,12 @@ class LemmaExchange {
   /// not counted as fetched), so stats.fetched is foreign deliveries only.
   std::vector<Lemma> fetch(std::size_t& cursor, std::uint8_t self = 0);
 
+  /// Copy out every *live* lemma (tombstoned/superseded entries skipped) —
+  /// the checkpoint writer's view of the store (mc/lemma_store.hpp).  One
+  /// O(n) copy under the hub lock; publishers racing the copy are neither
+  /// blocked for long nor partially observed.
+  std::vector<Lemma> export_lemmas() const;
+
   std::size_t size() const;
   LemmaExchangeStats stats() const;
 

@@ -1,0 +1,270 @@
+#include "mc/lemma_store.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "util/atomic_write.hpp"
+#include "util/fault.hpp"
+
+namespace itpseq::mc {
+
+namespace {
+
+constexpr std::string_view kMagic = "itpseq-checkpoint";
+constexpr unsigned kVersion = 1;
+
+[[noreturn]] void fail(const std::string& what) {
+  throw SnapshotError("snapshot: " + what);
+}
+
+void hash_u64(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffu;
+    h *= 0x100000001b3ull;
+  }
+}
+
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Split on single spaces; empty fields (double spaces, leading/trailing
+/// space) are malformed and surface as parse failures downstream.
+std::vector<std::string_view> split(std::string_view line) {
+  std::vector<std::string_view> out;
+  std::size_t pos = 0;
+  while (pos <= line.size()) {
+    std::size_t sp = line.find(' ', pos);
+    if (sp == std::string_view::npos) sp = line.size();
+    out.push_back(line.substr(pos, sp - pos));
+    pos = sp + 1;
+  }
+  return out;
+}
+
+bool parse_u64(std::string_view tok, std::uint64_t& out, int base = 10) {
+  if (tok.empty() || tok.size() > 20) return false;
+  std::uint64_t v = 0;
+  for (char c : tok) {
+    int d;
+    if (c >= '0' && c <= '9')
+      d = c - '0';
+    else if (base == 16 && c >= 'a' && c <= 'f')
+      d = 10 + (c - 'a');
+    else
+      return false;
+    std::uint64_t nv = v * static_cast<unsigned>(base) +
+                       static_cast<unsigned>(d);
+    if (nv < v) return false;  // overflow
+    v = nv;
+  }
+  out = v;
+  return true;
+}
+
+bool parse_grade(std::string_view tok, LemmaGrade& out) {
+  if (tok == "invariant")
+    out = LemmaGrade::kInvariant;
+  else if (tok == "frame")
+    out = LemmaGrade::kFrame;
+  else if (tok == "candidate")
+    out = LemmaGrade::kCandidate;
+  else
+    return false;
+  return true;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::uint64_t design_hash(const aig::Aig& g) {
+  // FNV-1a over a canonical structural serialization: section tags keep
+  // e.g. "2 latches, 0 ands" distinct from "0 latches, 2 ands".
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  hash_u64(h, 'i');
+  hash_u64(h, g.num_inputs());
+  hash_u64(h, 'l');
+  hash_u64(h, g.num_latches());
+  for (std::size_t i = 0; i < g.num_latches(); ++i) {
+    hash_u64(h, g.latch_next(i));
+    hash_u64(h, static_cast<std::uint64_t>(g.latch_init(i)));
+  }
+  hash_u64(h, 'o');
+  hash_u64(h, g.num_outputs());
+  for (std::size_t i = 0; i < g.num_outputs(); ++i) hash_u64(h, g.output(i));
+  hash_u64(h, 'c');
+  hash_u64(h, g.num_constraints());
+  for (std::size_t i = 0; i < g.num_constraints(); ++i)
+    hash_u64(h, g.constraint(i));
+  hash_u64(h, 'a');
+  for (aig::Var v = 0; v < g.num_vars(); ++v) {
+    const aig::Node& n = g.node(v);
+    if (n.type != aig::NodeType::kAnd) continue;
+    hash_u64(h, v);
+    hash_u64(h, n.fanin0);
+    hash_u64(h, n.fanin1);
+  }
+  return h;
+}
+
+std::string encode_snapshot(const LemmaSnapshot& s) {
+  std::string out;
+  out += kMagic;
+  out += ' ';
+  out += std::to_string(kVersion);
+  out += '\n';
+  out += "design " + hex16(s.design) + " latches " +
+         std::to_string(s.num_latches) + "\n";
+  for (const EngineProgress& p : s.progress) {
+    out += "engine " + p.engine + " k " + std::to_string(p.bound) + "\n";
+  }
+  for (const Lemma& l : s.lemmas) {
+    out += "lemma ";
+    out += to_string(l.grade);
+    out += ' ';
+    out += std::to_string(l.bound);
+    out += ' ';
+    out += std::to_string(l.source);
+    for (LatchLit ll : l.clause) {
+      out += ' ';
+      out += std::to_string(ll);
+    }
+    out += '\n';
+  }
+  out += "checksum " + hex16(fnv1a64(out)) + "\n";
+  return out;
+}
+
+LemmaSnapshot decode_snapshot(std::string_view text) {
+  // Validation order: framing (magic/version) first, then the whole-file
+  // checksum, then per-record parsing — so a corrupt file reports
+  // "checksum mismatch" rather than whichever garbled record happens to
+  // parse first.
+  if (text.substr(0, kMagic.size()) != kMagic)
+    fail("bad magic (not an itpseq checkpoint)");
+  std::size_t eol = text.find('\n');
+  if (eol == std::string_view::npos) fail("truncated (no checksum)");
+  {
+    std::vector<std::string_view> toks = split(text.substr(0, eol));
+    std::uint64_t ver = 0;
+    if (toks.size() != 2 || !parse_u64(toks[1], ver)) fail("malformed header");
+    if (ver != kVersion)
+      fail("unsupported version " + std::string(toks[1]) + " (expected " +
+           std::to_string(kVersion) + ")");
+  }
+  // Locate the checksum line: the final non-empty line.
+  std::string_view body = text;
+  while (!body.empty() && body.back() == '\n') body.remove_suffix(1);
+  std::size_t last_nl = body.rfind('\n');
+  std::string_view last_line =
+      last_nl == std::string_view::npos ? body : body.substr(last_nl + 1);
+  {
+    std::vector<std::string_view> toks = split(last_line);
+    std::uint64_t want = 0;
+    if (toks.size() != 2 || toks[0] != "checksum" ||
+        !parse_u64(toks[1], want, 16))
+      fail("truncated (no checksum)");
+    // last_line is a subview of text, so pointer arithmetic gives the
+    // exact span the checksum covers.  Trailing garbage after the checksum
+    // line displaces it as the final line and fails above as "truncated".
+    std::size_t covered =
+        static_cast<std::size_t>(last_line.data() - text.data());
+    if (fnv1a64(text.substr(0, covered)) != want)
+      fail("checksum mismatch (corrupt file)");
+  }
+
+  LemmaSnapshot snap;
+  bool have_design = false;
+  std::size_t line_no = 1;
+  std::size_t pos = eol + 1;  // past the header line
+  while (pos < text.size()) {
+    ++line_no;
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (line.empty()) continue;
+    std::vector<std::string_view> toks = split(line);
+    auto malformed = [&]() -> SnapshotError {
+      return SnapshotError("snapshot: malformed " + std::string(toks[0]) +
+                           " record at line " + std::to_string(line_no));
+    };
+    if (toks[0] == "design") {
+      std::uint64_t hash = 0, latches = 0;
+      if (toks.size() != 4 || toks[2] != "latches" ||
+          !parse_u64(toks[1], hash, 16) || !parse_u64(toks[3], latches))
+        throw malformed();
+      snap.design = hash;
+      snap.num_latches = static_cast<std::size_t>(latches);
+      have_design = true;
+    } else if (toks[0] == "engine") {
+      std::uint64_t bound = 0;
+      if (toks.size() != 4 || toks[2] != "k" || toks[1].empty() ||
+          !parse_u64(toks[3], bound))
+        throw malformed();
+      snap.progress.push_back(
+          {std::string(toks[1]), static_cast<unsigned>(bound)});
+    } else if (toks[0] == "lemma") {
+      Lemma l;
+      std::uint64_t bound = 0, source = 0;
+      if (toks.size() < 5 || !have_design || !parse_grade(toks[1], l.grade) ||
+          !parse_u64(toks[2], bound) || !parse_u64(toks[3], source) ||
+          source > 255)
+        throw malformed();
+      l.bound = static_cast<unsigned>(bound);
+      l.source = static_cast<std::uint8_t>(source);
+      for (std::size_t i = 4; i < toks.size(); ++i) {
+        std::uint64_t lit = 0;
+        if (!parse_u64(toks[i], lit)) throw malformed();
+        if (lit >= 2 * static_cast<std::uint64_t>(snap.num_latches))
+          fail("lemma literal " + std::string(toks[i]) +
+               " out of range at line " + std::to_string(line_no) +
+               " (design has " + std::to_string(snap.num_latches) +
+               " latches)");
+        l.clause.push_back(static_cast<LatchLit>(lit));
+      }
+      snap.lemmas.push_back(std::move(l));
+    } else if (toks[0] == "checksum") {
+      break;  // validated above; everything after it was rejected there
+    } else {
+      fail("unknown record '" + std::string(toks[0]) + "' at line " +
+           std::to_string(line_no));
+    }
+  }
+  if (!have_design) fail("missing design record");
+  return snap;
+}
+
+bool write_snapshot_file(const std::string& path, const LemmaSnapshot& s,
+                         std::string* err) {
+  ITPSEQ_FAULT_POINT("snapshot.write");
+  return util::atomic_write_file(path, encode_snapshot(s), err);
+}
+
+LemmaSnapshot read_snapshot_file(const std::string& path) {
+  ITPSEQ_FAULT_POINT("snapshot.read");
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) fail("cannot open " + path + ": " + std::strerror(errno));
+  std::string text;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  bool bad = std::ferror(f) != 0;
+  std::fclose(f);
+  if (bad) fail("read error on " + path);
+  return decode_snapshot(text);
+}
+
+}  // namespace itpseq::mc

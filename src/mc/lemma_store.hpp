@@ -1,0 +1,98 @@
+// lemma_store.hpp — versioned, checksummed snapshots of the LemmaExchange
+// hub: the crash-recovery layer (--checkpoint / --resume) and the first
+// step of the ROADMAP's scale-out item ("serialize graded lemmas" across
+// process boundaries).
+//
+// Format (version 1): line-oriented text, one record per line.
+//
+//   itpseq-checkpoint 1
+//   design <hex16> latches <N>
+//   engine <NAME> k <BOUND>                   (zero or more progress lines)
+//   lemma <grade> <bound> <source> <lit>...   (grade invariant|frame|candidate;
+//                                              lits are LatchLit encodings,
+//                                              each < 2 * latches)
+//   checksum <hex16>
+//
+// The trailing checksum is FNV-1a 64 over every byte preceding its own
+// line, so truncation, bit rot and hand-editing are all caught before any
+// record is believed.  `design` is a structural hash of the model (see
+// design_hash), letting --resume reject a snapshot taken from a different
+// circuit with a clean diagnostic instead of feeding it alien latch
+// indices.
+//
+// Trust model: a snapshot is *untrusted input*.  decode_snapshot()
+// validates framing, checksum, grades and literal ranges and throws
+// SnapshotError on any violation — never crashes, never allocates from
+// attacker-declared counts (parsing is driven by the actual body size).
+// Even a snapshot that decodes cleanly proves nothing: restored lemmas are
+// demoted to kCandidate before they re-enter a hub (check_portfolio's
+// seed_lemmas path), so consumers accept them only through the same
+// consecution/soundness checks as any other unproven clause — a forged
+// snapshot can waste work but can never smuggle an unsound lemma into a
+// proof.
+//
+// Fault sites: write_snapshot_file -> "snapshot.write",
+// read_snapshot_file -> "snapshot.read" (see util/fault.hpp).  Writers
+// publish via util::atomic_write_file, so a crash mid-checkpoint leaves
+// the previous complete snapshot in place (lint rule L7 guards this).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "mc/lemma_exchange.hpp"
+
+namespace itpseq::mc {
+
+/// Decode/read failure: message is "snapshot: <what>" — structured enough
+/// for the CLI to print verbatim before exiting 2.
+class SnapshotError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Per-engine progress metadata carried in the snapshot (reporting only —
+/// resume correctness never depends on it).
+struct EngineProgress {
+  std::string engine;
+  unsigned bound = 0;
+};
+
+struct LemmaSnapshot {
+  std::uint64_t design = 0;     ///< design_hash() of the model snapshotted
+  std::size_t num_latches = 0;  ///< literal-range domain for validation
+  std::vector<EngineProgress> progress;
+  std::vector<Lemma> lemmas;
+};
+
+/// FNV-1a 64 over `bytes` — the snapshot checksum primitive, exposed so
+/// tests and tooling can stamp hand-built bodies.
+std::uint64_t fnv1a64(std::string_view bytes);
+
+/// Structural hash of the model: latch count/next/init, outputs,
+/// constraints and the AND graph.  Two models agree iff they are
+/// structurally identical, which is exactly when latch-indexed lemmas
+/// transfer between them.
+std::uint64_t design_hash(const aig::Aig& g);
+
+/// Serialize to the version-1 text format (checksum line included).
+std::string encode_snapshot(const LemmaSnapshot& s);
+
+/// Parse and validate untrusted snapshot text; throws SnapshotError.
+LemmaSnapshot decode_snapshot(std::string_view text);
+
+/// Encode and atomically publish to `path` (temp+rename).  Returns false
+/// with *err filled on ordinary I/O failure; throws only via the
+/// "snapshot.write" fault site.
+bool write_snapshot_file(const std::string& path, const LemmaSnapshot& s,
+                         std::string* err = nullptr);
+
+/// Read and decode `path`; throws SnapshotError on missing/unreadable/
+/// invalid files (and whatever the "snapshot.read" fault site injects).
+LemmaSnapshot read_snapshot_file(const std::string& path);
+
+}  // namespace itpseq::mc

@@ -105,8 +105,7 @@ class PdrContext {
                   std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                       std::chrono::duration<double>(time_budget_sec))),
         unr_(model, solver_) {
-    solver_.set_restart_mode(opts.sat_restarts);
-    solver_.set_inprocess(opts.sat_inprocess);
+    opts.apply_sat_options(solver_);
     setup();
   }
 

@@ -11,7 +11,10 @@
 
 #include "mc/kinduction.hpp"
 #include "mc/lemma_exchange.hpp"
+#include "mc/lemma_store.hpp"
 #include "obs/trace.hpp"
+#include "util/mem_budget.hpp"
+#include "util/retry.hpp"
 
 namespace itpseq::mc {
 
@@ -37,6 +40,28 @@ const char* to_string(PortfolioMember m) {
       return "PDR";
   }
   return "?";
+}
+
+void degrade_for_retry(EngineOptions& eo, ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::kOutOfMemory:
+      // Shed the allocation-heavy machinery: the inprocessing occurrence
+      // index is the largest transient allocation, the learnt-clause arena
+      // the largest persistent one, and the state-set AIG grows unboundedly
+      // without compaction.
+      eo.sat_inprocess = false;
+      eo.sat_reduce_base = eo.sat_reduce_base > 0.0
+                               ? std::min(eo.sat_reduce_base, 500.0)
+                               : 500.0;
+      if (eo.compact_threshold == 0 || eo.compact_threshold > 50000)
+        eo.compact_threshold = 50000;
+      break;
+    case ErrorKind::kNone:
+    case ErrorKind::kSolverLimit:  // the scheduler halves the leash instead
+    case ErrorKind::kInternal:     // transient faults: plain retry
+    case ErrorKind::kIoError:
+      break;
+  }
 }
 
 namespace {
@@ -247,30 +272,89 @@ EngineResult check_portfolio(const aig::Aig& model, std::size_t prop,
 
   LemmaExchange hub(model.num_latches());
   LemmaExchange* hubp = opts.exchange ? &hub : nullptr;
+  // Seed the hub from a restored snapshot.  The demotion to kCandidate
+  // happens HERE, unconditionally — callers cannot opt out — so restored
+  // lemmas only ever re-enter proofs through consumers' own soundness
+  // checks (PDR's relative-induction query), exactly like any other
+  // candidate.  A forged snapshot can waste work, never flip a verdict.
+  std::uint64_t restored = 0;
+  if (hubp != nullptr && !opts.seed_lemmas.empty()) {
+    for (const Lemma& l : opts.seed_lemmas) {
+      Lemma c;
+      c.clause = l.clause;
+      c.grade = LemmaGrade::kCandidate;
+      if (hub.publish(std::move(c))) ++restored;
+    }
+    if (obs::enabled()) {
+      obs::emit("snapshot_restore",
+                {{"lemmas", opts.seed_lemmas.size()}, {"accepted", restored}});
+    }
+  }
   // Per-member fates (winners, losers and crashes alike) — attached to
-  // every returned result so run_report can list them.  Threaded mode
-  // appends under `mu`.
+  // every returned result so run_report can list them.  `mu` guards them
+  // against the threaded workers and the checkpoint writer.
+  std::mutex mu;
   std::vector<MemberOutcome> outcomes;
   auto record_outcome = [&outcomes](PortfolioMember m, const EngineResult& r) {
     MemberOutcome o;
     o.member = to_string(m);
     o.verdict = r.verdict;
     o.seconds = r.seconds;
+    o.k_fp = r.k_fp;
     o.error = r.error;
     outcomes.push_back(std::move(o));
   };
+  // Lemma checkpointing (see portfolio.hpp).  Failure containment:
+  // checkpointing is an observer — an injected or real I/O failure here is
+  // counted and dropped, never surfaced into the verdict path.
+  const bool ckpt_on = !opts.checkpoint_path.empty() && hubp != nullptr;
+  const std::uint64_t dhash = ckpt_on ? design_hash(model) : 0;
+  double last_ckpt = 0.0;  // touched only by the scheduler driving thread
+  // Serializes snapshot writes: the guard thread's periodic write can race
+  // finalize()'s final one, and both use the same temp file.
+  std::mutex ckpt_mu;
+  auto write_checkpoint = [&](const char* reason) {
+    if (!ckpt_on) return;
+    std::lock_guard<std::mutex> ckpt_lock(ckpt_mu);
+    try {
+      LemmaSnapshot snap;
+      snap.design = dhash;
+      snap.num_latches = model.num_latches();
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        snap.progress.reserve(outcomes.size());
+        for (const MemberOutcome& o : outcomes)
+          snap.progress.push_back({o.member, o.k_fp});
+      }
+      snap.lemmas = hub.export_lemmas();
+      std::string werr;
+      bool ok = write_snapshot_file(opts.checkpoint_path, snap, &werr);
+      if (obs::enabled()) {
+        obs::emit("checkpoint", {{"reason", reason},
+                                 {"lemmas", snap.lemmas.size()},
+                                 {"ok", ok ? 1u : 0u}});
+      }
+    } catch (...) {
+      if (obs::enabled()) obs::emit("checkpoint", {{"reason", reason}, {"ok", 0u}});
+    }
+  };
   auto finalize = [&](EngineResult r) {
     r.seconds = elapsed();
+    // Final checkpoint before `outcomes` is moved out: even a run shorter
+    // than the interval leaves a complete snapshot behind.
+    write_checkpoint("final");
     r.members = std::move(outcomes);
     if (hubp != nullptr) {
       LemmaExchangeStats hs = hub.stats();
       r.stats.lemmas_published = hs.published;
       r.stats.lemmas_consumed = hs.fetched;
+      r.stats.lemmas_restored = restored;
     }
     return r;
   };
-  auto member_options = [&](std::size_t slot, double budget) {
-    EngineOptions eo = opts.engine_defaults;
+  auto member_options = [&](const EngineOptions& base, std::size_t slot,
+                            double budget) {
+    EngineOptions eo = base;
     eo.time_limit_sec = budget;
     eo.exchange = hubp;
     eo.exchange_source = static_cast<std::uint8_t>((slot % 250) + 1);
@@ -318,15 +402,22 @@ EngineResult check_portfolio(const aig::Aig& model, std::size_t prop,
                                      {"round", round},
                                      {"budget_sec", budget}});
         }
-        EngineResult r = run_member(model, prop, opts.members[i],
-                                    member_options(slot++, budget),
-                                    opts.sim_seed, sim_rounds);
+        EngineResult r =
+            run_member(model, prop, opts.members[i],
+                       member_options(opts.engine_defaults, slot++, budget),
+                       opts.sim_seed, sim_rounds);
         if (obs::enabled()) {
           obs::emit("member_done", {{"member", to_string(opts.members[i])},
                                     {"verdict", to_string(r.verdict)},
                                     {"seconds", r.seconds}});
         }
         record_outcome(opts.members[i], r);
+        // Slice boundaries are the sequential scheduler's checkpoint
+        // cadence (no guard thread to drive the interval).
+        if (ckpt_on && elapsed() - last_ckpt >= opts.checkpoint_interval_sec) {
+          write_checkpoint("interval");
+          last_ckpt = elapsed();
+        }
         if (r.verdict == Verdict::kPass || r.verdict == Verdict::kFail) {
           r.engine = std::string("portfolio/") + to_string(opts.members[i]);
           return finalize(std::move(r));
@@ -358,7 +449,10 @@ EngineResult check_portfolio(const aig::Aig& model, std::size_t prop,
   std::atomic<bool> cancel{false};
   std::atomic<bool> watchdog_fired{false};
   std::atomic<std::size_t> next{0};
-  std::mutex mu;
+  // Publisher slots for relaunched members, past the initial assignment:
+  // a relaunch gets a *fresh* slot so the hub treats its previous
+  // publications as foreign — re-reading them is exactly the warm start.
+  std::atomic<std::size_t> pub_slot{opts.members.size()};
   int winner = -1;
   EngineResult win;
   bool have_unknown = false;  // guarded by mu; `last` holds a healthy result
@@ -377,25 +471,74 @@ EngineResult check_portfolio(const aig::Aig& model, std::size_t prop,
         std::size_t queued = opts.members.size() - i;
         double budget =
             std::min(remaining, remaining * jobs / static_cast<double>(queued));
-        EngineOptions eo = member_options(i, budget);
-        eo.cancel = &cancel;
-        if (opts.active_probe != nullptr) opts.active_probe->fetch_add(1);
-        if (obs::enabled()) {
-          obs::emit("worker_start", {{"member", to_string(opts.members[i])},
-                                     {"slot", i},
-                                     {"budget_sec", budget}});
+        PortfolioMember m = opts.members[i];
+        // The degraded option base survives across relaunches of this
+        // slot, so ladder steps accumulate (an OOM clamp stays on even if
+        // a later attempt dies of something else).
+        EngineOptions base = opts.engine_defaults;
+        MemberOutcome o;
+        o.member = to_string(m);
+        EngineResult r;
+        unsigned attempt = 0;
+        for (;;) {
+          EngineOptions eo = member_options(
+              base,
+              attempt == 0 ? i
+                           : pub_slot.fetch_add(1, std::memory_order_relaxed),
+              budget);
+          eo.cancel = &cancel;
+          if (opts.active_probe != nullptr) opts.active_probe->fetch_add(1);
+          if (obs::enabled()) {
+            obs::emit("worker_start", {{"member", to_string(m)},
+                                       {"slot", i},
+                                       {"attempt", attempt},
+                                       {"budget_sec", budget}});
+          }
+          r = run_member(model, prop, m, eo, opts.sim_seed, kSimSweepRounds);
+          if (opts.active_probe != nullptr) opts.active_probe->fetch_sub(1);
+          if (obs::enabled()) {
+            obs::emit("worker_done", {{"member", to_string(m)},
+                                      {"slot", i},
+                                      {"verdict", to_string(r.verdict)},
+                                      {"seconds", r.seconds}});
+          }
+          o.seconds += r.seconds;
+          if (r.verdict != Verdict::kError) break;
+          o.last_error = r.error;
+          // Self-healing: relaunch the errored slot under the
+          // RestartPolicy — bounded retries, exponential backoff with
+          // deterministic jitter, degradation ladder — warm-started from
+          // the current exchange (fresh publisher slot above).
+          if (attempt >= opts.restart.max_retries) break;
+          if (cancel.load(std::memory_order_relaxed)) break;
+          double delay = util::backoff_delay_sec(
+              opts.restart, attempt,
+              opts.sim_seed ^ (0x9e3779b97f4a7c15ull * (i + 1)));
+          if (opts.time_limit_sec - elapsed() <= delay) break;
+          if (!util::interruptible_sleep(delay, &cancel)) break;
+          degrade_for_retry(base, r.error.kind);
+          // kSolverLimit relaunches with half the leash: the member
+          // already proved it cannot finish in a full share, so leave the
+          // reclaimed time to healthier peers.
+          double leash =
+              r.error.kind == ErrorKind::kSolverLimit ? 0.5 : 1.0;
+          budget = std::min(budget, opts.time_limit_sec - elapsed()) * leash;
+          if (budget <= 0) break;
+          ++attempt;
+          o.restarts = attempt;
+          if (obs::enabled()) {
+            obs::emit("member_restart",
+                      {{"member", to_string(m)},
+                       {"attempt", attempt},
+                       {"error", to_string(o.last_error.kind)},
+                       {"delay_sec", delay}});
+          }
         }
-        EngineResult r = run_member(model, prop, opts.members[i], eo,
-                                    opts.sim_seed, kSimSweepRounds);
-        if (opts.active_probe != nullptr) opts.active_probe->fetch_sub(1);
-        if (obs::enabled()) {
-          obs::emit("worker_done", {{"member", to_string(opts.members[i])},
-                                    {"slot", i},
-                                    {"verdict", to_string(r.verdict)},
-                                    {"seconds", r.seconds}});
-        }
+        o.verdict = r.verdict;
+        o.k_fp = r.k_fp;
+        o.error = r.error;
         std::lock_guard<std::mutex> lock(mu);
-        record_outcome(opts.members[i], r);
+        outcomes.push_back(std::move(o));
         if (r.verdict == Verdict::kPass || r.verdict == Verdict::kFail) {
           if (winner < 0) {
             winner = static_cast<int>(i);
@@ -435,12 +578,14 @@ EngineResult check_portfolio(const aig::Aig& model, std::size_t prop,
     }
   };
 
-  // One guard thread serves two duties on a shared condition-variable
+  // One guard thread serves three duties on a shared condition-variable
   // wait: relaying an external cancellation token into the pool's internal
-  // one, and the watchdog — if cooperative cancellation misses the
-  // deadline (an engine stalled outside its poll loop), force internal
-  // cancellation after a grace period and mark the escalation.  The CV
-  // (unlike the former busy-poll) lets the exit path wake it immediately.
+  // one; the watchdog — if cooperative cancellation misses the deadline
+  // (an engine stalled outside its poll loop), force internal cancellation
+  // after a grace period and mark the escalation; and driving the periodic
+  // lemma checkpoint (plus an extra snapshot on watchdog or memory-budget
+  // escalation — the moments a crash becomes likely).  The CV (unlike the
+  // former busy-poll) lets the exit path wake it immediately.
   struct Relay {
     std::mutex mu;
     std::condition_variable cv;
@@ -450,11 +595,12 @@ EngineResult check_portfolio(const aig::Aig& model, std::size_t prop,
   const bool watchdog_on =
       opts.watchdog_grace_sec > 0 && opts.time_limit_sec >= 0;
   std::thread guard;
-  if (external != nullptr || watchdog_on) {
+  if (external != nullptr || watchdog_on || ckpt_on) {
     guard = std::thread([&] {
       try {
         const double deadline =
             opts.time_limit_sec + std::max(0.0, opts.watchdog_grace_sec);
+        bool mem_ckpt_done = false;
         std::unique_lock<std::mutex> lock(relay.mu);
         while (!relay.done) {
           relay.cv.wait_for(lock, std::chrono::milliseconds(2));
@@ -463,10 +609,27 @@ EngineResult check_portfolio(const aig::Aig& model, std::size_t prop,
               external->load(std::memory_order_relaxed)) {
             cancel.store(true, std::memory_order_relaxed);
           }
+          if (ckpt_on) {
+            util::MemoryBudget& mb = util::MemoryBudget::instance();
+            if (mb.limited()) mb.poll();
+            if (mb.soft() && !mem_ckpt_done) {
+              // Memory pressure escalated: snapshot now, while the
+              // allocator still can — the ladder's next rung is bailing
+              // out, and past it the OOM killer.
+              mem_ckpt_done = true;
+              write_checkpoint("mem-budget");
+              last_ckpt = elapsed();
+            } else if (elapsed() - last_ckpt >=
+                       opts.checkpoint_interval_sec) {
+              write_checkpoint("interval");
+              last_ckpt = elapsed();
+            }
+          }
           if (watchdog_on && elapsed() >= deadline &&
               !watchdog_fired.load(std::memory_order_relaxed)) {
             watchdog_fired.store(true, std::memory_order_relaxed);
             cancel.store(true, std::memory_order_relaxed);
+            write_checkpoint("watchdog");
             if (obs::enabled()) {
               obs::emit("watchdog",
                         {{"grace_sec", opts.watchdog_grace_sec},

@@ -46,6 +46,29 @@
 // poll loop — by forcing cancellation after watchdog_grace_sec past the
 // budget and annotating the kUnknown result with ErrorKind::kSolverLimit.
 //
+// Self-healing (threaded mode).  On top of containment, an errored member
+// slot is *relaunched* under PortfolioOptions::restart: bounded retries,
+// exponential backoff with deterministic jitter (util::RestartPolicy), and
+// a per-error degradation ladder (degrade_for_retry — e.g. kOutOfMemory
+// relaunches with inprocessing off and a clamped learnt cap, kSolverLimit
+// with half the leash).  The relaunch gets a fresh publisher slot, so it
+// warm-starts by re-reading the whole exchange — its own prior
+// publications included — instead of re-deriving everything.  Retry
+// history (restarts / last_error) is preserved per member in
+// EngineResult::members; each relaunch emits a member_restart obs event.
+// The sequential scheduler's round-robin already is a retry loop, so the
+// policy applies to the threaded scheduler only.
+//
+// Checkpointing.  With checkpoint_path set, the hub (plus per-member
+// progress) is snapshotted to a versioned, checksummed file via atomic
+// temp+rename — periodically (checkpoint_interval_sec, from the guard
+// thread in threaded mode and between slices in sequential mode), on
+// watchdog or memory-budget escalation, and once at the end of the run.
+// seed_lemmas feeds a restored snapshot back in; every seeded lemma is
+// demoted to kCandidate first (mc/lemma_store.hpp's trust model), so a
+// corrupt or forged snapshot can never change a verdict.  Checkpoint I/O
+// failures are contained: they are counted, never propagated.
+//
 // Determinism.  For a fixed sim_seed the random-simulation member explores
 // one fixed trace enumeration of a fixed size under *both* schedulers
 // (independent of wall-clock and thread interleaving), and every SAT
@@ -57,9 +80,12 @@
 #pragma once
 
 #include <atomic>
+#include <string>
 #include <vector>
 
 #include "mc/engine.hpp"
+#include "mc/lemma_exchange.hpp"
+#include "util/retry.hpp"
 
 namespace itpseq::mc {
 
@@ -107,11 +133,34 @@ struct PortfolioOptions {
   /// fires when a member misses its own deadline polls.  <= 0 disables.
   double watchdog_grace_sec = 5.0;
   EngineOptions engine_defaults;
+  /// Self-healing relaunch policy for errored members (threaded mode; see
+  /// header comment).  restart.max_retries = 0 disables relaunching — the
+  /// first kError then sticks as that slot's outcome, as before.
+  util::RestartPolicy restart;
+  /// Lemma checkpointing: snapshot the exchange hub to this path ("" =
+  /// off) every checkpoint_interval_sec, on watchdog/mem-budget
+  /// escalation, and at the end of the run.  Written atomically
+  /// (temp+rename), so readers only ever see complete snapshots.
+  std::string checkpoint_path;
+  double checkpoint_interval_sec = 5.0;
+  /// Lemmas restored from a --resume snapshot, seeded into the hub before
+  /// any member starts.  Every entry is demoted to kCandidate regardless
+  /// of its recorded grade — snapshots are untrusted input, and candidates
+  /// re-enter proofs only through consumers' own soundness checks.  The
+  /// count accepted is reported in stats.lemmas_restored.
+  std::vector<Lemma> seed_lemmas;
   /// Test instrumentation: incremented when a member starts, decremented
   /// when it returns.  After check_portfolio() returns it reads 0 — the
   /// join-all guarantee made observable.
   std::atomic<int>* active_probe = nullptr;
 };
+
+/// The degradation ladder: mutate `eo` so a relaunch avoids the failure
+/// mode behind `kind` — kOutOfMemory sheds the allocation-heavy machinery
+/// (inprocessing off, learnt cap clamped, earlier state-set compaction);
+/// other kinds retry unchanged (the relaunch budget, which shrinks for
+/// kSolverLimit, is the scheduler's side of the ladder).
+void degrade_for_retry(EngineOptions& eo, ErrorKind kind);
 
 /// Run the portfolio; the winning member's name is recorded in
 /// EngineResult::engine (prefixed with "portfolio/").

@@ -61,16 +61,29 @@ struct ErrorInfo {
 };
 
 /// Map a caught exception onto the taxonomy: bad_alloc -> kOutOfMemory,
-/// parser failures (ios_base::failure or an "aiger:"/"blif:" message
-/// prefix) -> kIoError, anything else -> kInternal.
+/// parser failures (ios_base::failure or an "aiger:"/"blif:"/"snapshot:"
+/// message prefix) -> kIoError, anything else -> kInternal.
 ErrorInfo classify_exception(const std::exception& e);
 
 /// One portfolio member's fate, reported even when another member won.
+/// With self-healing enabled (PortfolioOptions::restart) a member slot may
+/// span several attempts: `verdict`/`error` describe the final attempt,
+/// `seconds` accumulates across all of them, and the retry history is in
+/// `restarts`/`last_error`.
 struct MemberOutcome {
   std::string member;                  ///< engine name (to_string form)
   Verdict verdict = Verdict::kUnknown;
-  double seconds = 0.0;
+  double seconds = 0.0;                ///< summed over all attempts
+  unsigned k_fp = 0;                   ///< final attempt's bound reached
   ErrorInfo error;                     ///< kind != kNone iff verdict == kError
+  /// Times this slot was relaunched after an errored attempt (0 = first
+  /// attempt stood).  A healthy final verdict with restarts > 0 means the
+  /// self-healing path recovered the member.
+  unsigned restarts = 0;
+  /// The error that triggered the most recent relaunch — preserved even
+  /// when the relaunched attempt finished healthy (error.kind would then
+  /// be kNone and the crash history invisible without this).
+  ErrorInfo last_error;
 };
 
 /// A concrete counterexample: initial latch values plus one input vector per
@@ -148,6 +161,11 @@ struct EngineOptions {
   /// engine creates; see sat::Solver::set_inprocess).  Proof-logging safe:
   /// never affects verdicts, ITP extraction, or tracecheck export.
   bool sat_inprocess = true;
+  /// Learned-clause cap override for every SAT solver the engine creates
+  /// (sat::Solver::set_reduce_base); 0 keeps the solver default.  The
+  /// portfolio's OOM degradation ladder clamps this on relaunch to shrink
+  /// the dominant allocation.
+  double sat_reduce_base = 0.0;
   /// Cooperative cancellation token (non-owning; may be null).  The
   /// contract every engine implements: *poll* the flag at loop heads and
   /// inside SAT calls (via sat::Budget::cancel) and return kUnknown
@@ -161,6 +179,17 @@ struct EngineOptions {
   LemmaExchange* exchange = nullptr;
   /// Publisher slot recorded on published lemmas (attribution in stats).
   std::uint8_t exchange_source = 0;
+
+  /// Apply the SAT-core knobs above to a solver the engine created.  This
+  /// is the single place that knows the full knob list — engines call it
+  /// at every solver-construction site instead of hand-rolling the
+  /// setters, so a new knob (like the OOM ladder's sat_reduce_base)
+  /// reaches every solver at once.
+  void apply_sat_options(sat::Solver& s) const {
+    s.set_restart_mode(sat_restarts);
+    s.set_inprocess(sat_inprocess);
+    if (sat_reduce_base > 0.0) s.set_reduce_base(sat_reduce_base);
+  }
 };
 
 /// Aggregate statistics engines expose for the benchmark tables.
@@ -189,6 +218,9 @@ struct EngineStats {
   unsigned cba_refinements = 0;        // CBA only
   std::uint64_t lemmas_published = 0;  // lemmas this engine gave the hub
   std::uint64_t lemmas_consumed = 0;   // foreign lemmas this engine used
+  /// Portfolio only: snapshot lemmas seeded into the hub on --resume (all
+  /// demoted to kCandidate; see mc/lemma_store.hpp's trust model).
+  std::uint64_t lemmas_restored = 0;
 
   /// Cross-run aggregation for benchmark tables: counters are summed,
   /// high-water / size fields take the maximum.  Keep this the single
@@ -217,6 +249,7 @@ struct EngineStats {
     cba_refinements += s.cba_refinements;
     lemmas_published += s.lemmas_published;
     lemmas_consumed += s.lemmas_consumed;
+    lemmas_restored += s.lemmas_restored;
     return *this;
   }
 };

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "util/atomic_write.hpp"
+
 namespace itpseq::mc {
 
 namespace {
@@ -88,11 +90,23 @@ std::string stats_json(const EngineResult& r, const obs::TraceSink* sink,
       out += '{';
       kv_str(out, "member", m.member);
       kv_str(out, "verdict", to_string(m.verdict));
-      kv_f64(out, "seconds", m.seconds, /*comma=*/m.error.kind != ErrorKind::kNone);
-      if (m.error.kind != ErrorKind::kNone) {
+      kv_u64(out, "restarts", m.restarts);
+      const bool has_err = m.error.kind != ErrorKind::kNone;
+      const bool has_last = m.last_error.kind != ErrorKind::kNone;
+      kv_f64(out, "seconds", m.seconds, /*comma=*/has_err || has_last);
+      if (has_err) {
         out += "\"error\":{";
         kv_str(out, "kind", to_string(m.error.kind));
         kv_str(out, "message", m.error.message, /*comma=*/false);
+        out += '}';
+        if (has_last) out += ',';
+      }
+      // The error behind the most recent relaunch — present even when the
+      // relaunched attempt finished healthy, so recoveries stay visible.
+      if (has_last) {
+        out += "\"last_error\":{";
+        kv_str(out, "kind", to_string(m.last_error.kind));
+        kv_str(out, "message", m.last_error.message, /*comma=*/false);
         out += '}';
       }
       out += '}';
@@ -129,7 +143,8 @@ std::string stats_json(const EngineResult& r, const obs::TraceSink* sink,
   kv_u64(out, "cba_visible_latches", s.cba_visible_latches);
   kv_u64(out, "cba_refinements", s.cba_refinements);
   kv_u64(out, "lemmas_published", s.lemmas_published);
-  kv_u64(out, "lemmas_consumed", s.lemmas_consumed, /*comma=*/false);
+  kv_u64(out, "lemmas_consumed", s.lemmas_consumed);
+  kv_u64(out, "lemmas_restored", s.lemmas_restored, /*comma=*/false);
   out += '}';
 
   if (sink != nullptr) {
@@ -182,12 +197,9 @@ std::string stats_json(const EngineResult& r, const obs::TraceSink* sink,
 bool write_stats_json(const std::string& path, const EngineResult& r,
                       const obs::TraceSink* sink, const std::string& tool,
                       const std::string& circuit) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return false;
-  std::string body = stats_json(r, sink, tool, circuit);
-  std::fwrite(body.data(), 1, body.size(), f);
-  std::fclose(f);
-  return true;
+  // Atomic publication (L7): a consumer tailing the report path must never
+  // observe a truncated JSON document.
+  return util::atomic_write_file(path, stats_json(r, sink, tool, circuit));
 }
 
 }  // namespace itpseq::mc

@@ -250,6 +250,11 @@ struct TraceSink::Impl {
             std::uint64_t n = arg_u64(e, grade);
             if (n != 0) summary.exchange[{e.engine, grade}].fetched += n;
           }
+        } else if (std::strcmp(e.kind, "member_restart") == 0) {
+          // Self-healing relaunches get their own matrix row, keyed by the
+          // member's name from the payload — the event is emitted by the
+          // scheduler thread, outside any ScopedEngine tag.
+          ++summary.exchange[{arg_str(e, "member", "?"), "restart"}].published;
         }
       }
       if (file != nullptr) {

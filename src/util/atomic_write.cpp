@@ -1,0 +1,47 @@
+#include "util/atomic_write.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace itpseq::util {
+
+namespace {
+
+void describe(std::string* err, const char* stage, const std::string& path) {
+  if (err == nullptr) return;
+  *err = std::string(stage) + " " + path + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+bool atomic_write_file(const std::string& path, const std::string& body,
+                       std::string* err) {
+  // The temp file must live in the target's directory — rename cannot
+  // cross filesystems.
+  std::string tmp = path + ".tmp";
+  // This file is L7's by-path exemption: the fopen below targets the temp
+  // sibling, never the final path — it IS the atomic temp+rename helper.
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    describe(err, "open", tmp);
+    return false;
+  }
+  bool ok = body.empty() ||
+            std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  if (ok) ok = std::fflush(f) == 0;
+  if (std::fclose(f) != 0) ok = false;
+  if (!ok) {
+    describe(err, "write", tmp);
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    describe(err, "rename", path);
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace itpseq::util

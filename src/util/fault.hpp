@@ -14,6 +14,8 @@
 //   exchange.publish  LemmaExchange::publish
 //   exchange.fetch    LemmaExchange::fetch
 //   obs.drain         trace-sink drainer batch processing
+//   snapshot.write    lemma-checkpoint publication (write_snapshot_file)
+//   snapshot.read     lemma-checkpoint load (read_snapshot_file)
 //
 // A plan is a comma/space-separated list of specs:
 //

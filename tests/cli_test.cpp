@@ -17,6 +17,9 @@
 #ifndef ITPSEQ_TOOL_DIR
 #define ITPSEQ_TOOL_DIR "."
 #endif
+#ifndef ITPSEQ_DATA_DIR
+#define ITPSEQ_DATA_DIR "tests/data"
+#endif
 
 namespace itpseq {
 namespace {
@@ -31,8 +34,11 @@ std::string temp_path(const std::string& name) {
 }
 
 /// Run a command, returning its exit status (-1 on spawn failure).
-int run(const std::string& cmd, std::string* output = nullptr) {
-  std::string full = cmd + " 2>/dev/null";
+/// `merge_stderr` folds stderr into the captured output — for tests that
+/// assert on diagnostics, which the tools print to stderr.
+int run(const std::string& cmd, std::string* output = nullptr,
+        bool merge_stderr = false) {
+  std::string full = cmd + (merge_stderr ? " 2>&1" : " 2>/dev/null");
   FILE* p = popen(full.c_str(), "r");
   if (!p) return -1;
   std::string text;
@@ -271,6 +277,81 @@ TEST_F(CliTest, McBadFaultAndMemLimitFlagsAreUsageErrors) {
   EXPECT_EQ(run(tool("itpseq-mc") + " --inject-fault bogus " + pass_aag_), 2);
   EXPECT_EQ(run(tool("itpseq-mc") + " --inject-fault s:0 " + pass_aag_), 2);
   EXPECT_EQ(run(tool("itpseq-mc") + " --mem-limit lots " + pass_aag_), 2);
+}
+
+TEST_F(CliTest, McCheckpointResumeRoundTrip) {
+  // A checkpointed run leaves a decodable snapshot behind; resuming from it
+  // reaches the same verdict and reports the restored-lemma count.
+  std::string ck = temp_path("roundtrip.its");
+  std::remove(ck.c_str());
+  std::string out;
+  int rc = run(tool("itpseq-mc") + " -t 30 -e portfolio --checkpoint " + ck +
+                   " " + pass_aag_,
+               &out);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("c checkpoint: "), std::string::npos) << out;
+  std::ifstream f(ck);
+  ASSERT_TRUE(f.good()) << "checkpoint file was not written";
+  std::string magic;
+  std::getline(f, magic);
+  EXPECT_EQ(magic, "itpseq-checkpoint 1");
+
+  rc = run(tool("itpseq-mc") + " -t 30 -e portfolio --resume " + ck + " " +
+               pass_aag_,
+           &out);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("c resume: restored"), std::string::npos) << out;
+  std::remove(ck.c_str());
+}
+
+TEST_F(CliTest, McMalformedCheckpointsAreExitCode2) {
+  // The malformed-checkpoint corpus: every way a snapshot can lie — torn
+  // tail, foreign magic, future version, corrupt payload, out-of-range
+  // literal — is turned away at load time with a structured `snapshot:`
+  // diagnostic, never fed to the engines.
+  const char* corpus[] = {"ckpt_truncated.its", "ckpt_bad_magic.its",
+                          "ckpt_bad_version.its", "ckpt_bad_checksum.its",
+                          "ckpt_bad_literal.its"};
+  for (const char* name : corpus) {
+    std::string path = std::string(ITPSEQ_DATA_DIR) + "/malformed/" + name;
+    std::string out;
+    int rc = run(tool("itpseq-mc") + " -q -t 30 -e portfolio --resume " +
+                     path + " " + pass_aag_,
+                 &out, /*merge_stderr=*/true);
+    EXPECT_EQ(rc, 2) << name << ": " << out;
+    EXPECT_NE(out.find("snapshot:"), std::string::npos) << name << ": " << out;
+  }
+}
+
+TEST_F(CliTest, McResumeDesignMismatchIsExitCode2) {
+  // A snapshot from one design must never seed another: the design hash in
+  // the header is checked against the loaded model before any lemma moves.
+  std::string ck = temp_path("mismatch.its");
+  std::remove(ck.c_str());
+  ASSERT_EQ(run(tool("itpseq-mc") + " -q -t 30 -e portfolio --checkpoint " +
+                ck + " " + pass_aag_),
+            0);
+  std::string out;
+  int rc = run(tool("itpseq-mc") + " -q -t 30 -e portfolio --resume " + ck +
+                   " " + fail_aag_,
+               &out, /*merge_stderr=*/true);
+  EXPECT_EQ(rc, 2) << out;
+  EXPECT_NE(out.find("design mismatch"), std::string::npos) << out;
+  std::remove(ck.c_str());
+}
+
+TEST_F(CliTest, McCheckpointFlagsRequirePortfolio) {
+  // Checkpoint/resume are LemmaExchange features; outside -e portfolio the
+  // flags are a usage error, not a silent no-op.
+  EXPECT_EQ(run(tool("itpseq-mc") + " --checkpoint /tmp/x.its -e pdr " +
+                pass_aag_),
+            2);
+  EXPECT_EQ(run(tool("itpseq-mc") + " --resume /tmp/x.its -e bmc " +
+                pass_aag_),
+            2);
+  EXPECT_EQ(run(tool("itpseq-mc") + " --checkpoint-interval nope " +
+                "-e portfolio --checkpoint /tmp/x.its " + pass_aag_),
+            2);
 }
 
 TEST_F(CliTest, McHostileHeaderIsRejectedNotAllocated) {

@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <new>
 #include <sstream>
 #include <stdexcept>
@@ -16,8 +18,10 @@
 #include "bench_circuits/generators.hpp"
 #include "io/blif.hpp"
 #include "mc/engine.hpp"
+#include "mc/lemma_store.hpp"
 #include "mc/portfolio.hpp"
 #include "obs/trace.hpp"
+#include "util/atomic_write.hpp"
 #include "util/fault.hpp"
 #include "util/mem_budget.hpp"
 
@@ -249,6 +253,47 @@ TEST_F(Containment, WatchdogEscalatesAMissedDeadline) {
   EXPECT_EQ(r.error.kind, mc::ErrorKind::kSolverLimit);
   EXPECT_NE(r.error.message.find("watchdog"), std::string::npos)
       << r.error.message;
+}
+
+TEST_F(Containment, SnapshotWriteFaultNeverPoisonsTheVerdict) {
+  // Every checkpoint publication throws, and the portfolio must treat that
+  // as a lost checkpoint — not a lost run: the verdict is unchanged and a
+  // stale snapshot at the target path survives untouched (the fault fires
+  // before the temp file is even created, which is the atomicity story:
+  // the final path only ever holds a complete snapshot).
+  const std::string ck = std::string(::testing::TempDir()) +
+                         "itpseq_fault_ckpt.its";
+  const std::string stale = "stale snapshot body — must survive\n";
+  ASSERT_TRUE(util::atomic_write_file(ck, stale));
+  util::fault::configure("snapshot.write:1:1000000:error");
+  mc::PortfolioOptions po;
+  po.time_limit_sec = 30.0;
+  po.checkpoint_path = ck;
+  po.checkpoint_interval_sec = 0.01;  // force periodic attempts, all fatal
+  po.members = {mc::PortfolioMember::kRandomSim, mc::PortfolioMember::kBmc};
+  mc::EngineResult r = mc::check_portfolio(bench::counter(4, 12, 7), 0, po);
+  EXPECT_EQ(r.verdict, mc::Verdict::kFail);
+  EXPECT_EQ(r.error.kind, mc::ErrorKind::kNone);
+  std::ifstream f(ck);
+  std::stringstream body;
+  body << f.rdbuf();
+  EXPECT_EQ(body.str(), stale) << "a failed checkpoint tore the old file";
+  std::remove(ck.c_str());
+}
+
+TEST_F(Containment, SnapshotReadFaultSiteFires) {
+  // The read site lets CI rehearse resume-time I/O failure on a perfectly
+  // valid file: armed, the load must raise instead of parse.
+  const std::string ck = std::string(::testing::TempDir()) +
+                         "itpseq_fault_read.its";
+  mc::LemmaSnapshot snap;
+  snap.design = 0x1234;
+  snap.num_latches = 4;
+  ASSERT_TRUE(mc::write_snapshot_file(ck, snap));
+  EXPECT_EQ(mc::read_snapshot_file(ck).design, 0x1234u);  // sanity: readable
+  util::fault::configure("snapshot.read:1");
+  EXPECT_THROW(mc::read_snapshot_file(ck), std::bad_alloc);
+  std::remove(ck.c_str());
 }
 
 TEST_F(Containment, DrainerSwallowsInjectedFaultsAndStaysAlive) {

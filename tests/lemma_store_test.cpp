@@ -1,0 +1,279 @@
+// lemma_store_test.cpp — the checkpoint/restore layer as a unit: checksum
+// primitive, structural design hash, encode/decode round trips, and the
+// untrusted-input contract (every way a snapshot can lie is a structured
+// SnapshotError, never a crash and never a believed record).  File-level
+// write/read and the portfolio seeding path are covered here too; the CLI
+// surface (--checkpoint/--resume, exit 2) lives in cli_test.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "bench_circuits/generators.hpp"
+#include "mc/lemma_store.hpp"
+#include "mc/portfolio.hpp"
+
+namespace itpseq {
+namespace {
+
+using mc::LemmaSnapshot;
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + "itpseq_store_" + name;
+}
+
+/// The message carried by the SnapshotError a decode must raise.
+std::string decode_error(const std::string& text) {
+  try {
+    mc::decode_snapshot(text);
+  } catch (const mc::SnapshotError& e) {
+    return e.what();
+  }
+  return "";
+}
+
+/// Re-stamp a hand-edited body with a *correct* checksum, so tests reach
+/// the record-level validation behind the checksum gate.
+std::string stamp(const std::string& body) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(mc::fnv1a64(body)));
+  return body + "checksum " + buf + "\n";
+}
+
+LemmaSnapshot sample_snapshot() {
+  LemmaSnapshot s;
+  s.design = 0xdeadbeefcafe1234ull;
+  s.num_latches = 6;
+  s.progress.push_back({"ITP", 4});
+  s.progress.push_back({"PDR", 7});
+  mc::Lemma inv;
+  inv.clause = {mc::mk_latch_lit(0, true), mc::mk_latch_lit(3, false)};
+  inv.grade = mc::LemmaGrade::kInvariant;
+  mc::Lemma frame;
+  frame.clause = {mc::mk_latch_lit(5, true)};
+  frame.grade = mc::LemmaGrade::kFrame;
+  frame.bound = 9;
+  frame.source = 2;
+  mc::Lemma cand;
+  cand.clause = {mc::mk_latch_lit(1, false), mc::mk_latch_lit(2, true),
+                 mc::mk_latch_lit(4, false)};
+  cand.grade = mc::LemmaGrade::kCandidate;
+  s.lemmas = {inv, frame, cand};
+  return s;
+}
+
+// --- the checksum primitive ------------------------------------------------
+
+TEST(LemmaStore, Fnv1a64MatchesTheReferenceVectors) {
+  // Published FNV-1a 64 test vectors: the offset basis and "a".
+  EXPECT_EQ(mc::fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(mc::fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_NE(mc::fnv1a64("itpseq"), mc::fnv1a64("itpseR"));
+}
+
+// --- the design hash -------------------------------------------------------
+
+TEST(LemmaStore, DesignHashIsStableAndStructureSensitive) {
+  // Deterministic: the same structure hashes the same across builds of the
+  // generator — this is what lets a resumed process recognize its design.
+  EXPECT_EQ(mc::design_hash(bench::token_ring(6, false)),
+            mc::design_hash(bench::token_ring(6, false)));
+  // Sensitive: any structural difference — size, latch updates, even just
+  // the property — must change the hash, or --resume would transplant
+  // latch-indexed lemmas between circuits.
+  EXPECT_NE(mc::design_hash(bench::token_ring(6, false)),
+            mc::design_hash(bench::token_ring(7, false)));
+  EXPECT_NE(mc::design_hash(bench::token_ring(6, false)),
+            mc::design_hash(bench::token_ring(6, true)));
+  EXPECT_NE(mc::design_hash(bench::counter(4, 12, 7)),
+            mc::design_hash(bench::counter(4, 12, 8)));
+}
+
+// --- encode/decode ---------------------------------------------------------
+
+TEST(LemmaStore, EncodeDecodeRoundTrips) {
+  LemmaSnapshot s = sample_snapshot();
+  LemmaSnapshot r = mc::decode_snapshot(mc::encode_snapshot(s));
+  EXPECT_EQ(r.design, s.design);
+  EXPECT_EQ(r.num_latches, s.num_latches);
+  ASSERT_EQ(r.progress.size(), 2u);
+  EXPECT_EQ(r.progress[0].engine, "ITP");
+  EXPECT_EQ(r.progress[0].bound, 4u);
+  EXPECT_EQ(r.progress[1].engine, "PDR");
+  EXPECT_EQ(r.progress[1].bound, 7u);
+  ASSERT_EQ(r.lemmas.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(r.lemmas[i].clause, s.lemmas[i].clause) << i;
+    EXPECT_EQ(r.lemmas[i].grade, s.lemmas[i].grade) << i;
+    EXPECT_EQ(r.lemmas[i].bound, s.lemmas[i].bound) << i;
+    EXPECT_EQ(r.lemmas[i].source, s.lemmas[i].source) << i;
+  }
+}
+
+TEST(LemmaStore, EmptySnapshotRoundTrips) {
+  LemmaSnapshot s;
+  s.design = 1;
+  s.num_latches = 0;
+  LemmaSnapshot r = mc::decode_snapshot(mc::encode_snapshot(s));
+  EXPECT_EQ(r.design, 1u);
+  EXPECT_TRUE(r.lemmas.empty());
+  EXPECT_TRUE(r.progress.empty());
+}
+
+// --- untrusted input: every lie is a structured rejection ------------------
+
+TEST(LemmaStore, EveryFlippedByteIsCaught) {
+  // Flip each byte of the encoded body in turn: whatever the flip hits —
+  // magic, a record, the checksum line itself — decode must throw.  This
+  // is the corruption-detection contract in one sweep.
+  std::string good = mc::encode_snapshot(sample_snapshot());
+  ASSERT_EQ(decode_error(good), "");
+  for (std::size_t i = 0; i < good.size(); ++i) {
+    std::string bad = good;
+    bad[i] ^= 0x01;
+    EXPECT_NE(decode_error(bad), "") << "flip at byte " << i << " slipped by";
+  }
+}
+
+TEST(LemmaStore, TruncationIsCaughtAtEveryLength) {
+  // Every proper truncation must be rejected.  The one tolerated cut is
+  // dropping only the final newline: all records and the checksum are
+  // still intact, so that document is complete, not torn.
+  std::string good = mc::encode_snapshot(sample_snapshot());
+  for (std::size_t len = 0; len + 1 < good.size(); ++len) {
+    EXPECT_NE(decode_error(good.substr(0, len)), "")
+        << "truncation to " << len << " bytes slipped by";
+  }
+  EXPECT_EQ(decode_error(good.substr(0, good.size() - 1)), "");
+}
+
+TEST(LemmaStore, FramingErrorsAreStructured) {
+  EXPECT_NE(decode_error("not a checkpoint\n").find("bad magic"),
+            std::string::npos);
+  EXPECT_NE(decode_error("itpseq-checkpoint 99\nchecksum 0\n")
+                .find("unsupported version 99"),
+            std::string::npos);
+  std::string good = mc::encode_snapshot(sample_snapshot());
+  EXPECT_NE(decode_error(good + "trailing garbage\n").find("truncated"),
+            std::string::npos);
+}
+
+TEST(LemmaStore, RecordErrorsBehindAValidChecksumAreStructured) {
+  // stamp() gives these bodies a correct checksum, so the failures below
+  // are record-level validation, not the checksum gate.
+  EXPECT_NE(decode_error(stamp("itpseq-checkpoint 1\n"))
+                .find("missing design"),
+            std::string::npos);
+  EXPECT_NE(decode_error(stamp("itpseq-checkpoint 1\n"
+                               "design zz latches 4\n"))
+                .find("malformed design"),
+            std::string::npos);
+  EXPECT_NE(decode_error(stamp("itpseq-checkpoint 1\n"
+                               "design 0 latches 4\n"
+                               "gremlin 1 2 3\n"))
+                .find("unknown record 'gremlin'"),
+            std::string::npos);
+  EXPECT_NE(decode_error(stamp("itpseq-checkpoint 1\n"
+                               "design 0 latches 4\n"
+                               "lemma candidate 0 0 8\n"))
+                .find("literal 8 out of range"),
+            std::string::npos);
+  // A lemma before any design record has no literal domain to check
+  // against: rejected, not trusted.
+  EXPECT_NE(decode_error(stamp("itpseq-checkpoint 1\n"
+                               "lemma candidate 0 0 1\n"
+                               "design 0 latches 4\n"))
+                .find("malformed lemma"),
+            std::string::npos);
+}
+
+TEST(LemmaStore, OutOfRangeLiteralIsRejectedOnEncodeSideToo) {
+  // encode_snapshot serializes whatever it is given; the *decoder* is the
+  // trust boundary, and it must reject the result.
+  LemmaSnapshot s;
+  s.num_latches = 2;
+  mc::Lemma l;
+  l.clause = {mc::mk_latch_lit(3, false)};  // lit 6 >= 2*2
+  s.lemmas.push_back(l);
+  EXPECT_NE(decode_error(mc::encode_snapshot(s)).find("out of range"),
+            std::string::npos);
+}
+
+// --- file round trip -------------------------------------------------------
+
+TEST(LemmaStore, WriteReadRoundTripsAndOverwritesAtomically) {
+  std::string path = temp_path("roundtrip.its");
+  LemmaSnapshot s = sample_snapshot();
+  ASSERT_TRUE(mc::write_snapshot_file(path, s));
+  LemmaSnapshot r = mc::read_snapshot_file(path);
+  EXPECT_EQ(r.design, s.design);
+  EXPECT_EQ(r.lemmas.size(), s.lemmas.size());
+  // Overwrite with a different snapshot: the path must hold the new one
+  // complete (temp+rename — no append, no partial mix).
+  s.design ^= 0xffff;
+  s.lemmas.clear();
+  ASSERT_TRUE(mc::write_snapshot_file(path, s));
+  r = mc::read_snapshot_file(path);
+  EXPECT_EQ(r.design, sample_snapshot().design ^ 0xffff);
+  EXPECT_TRUE(r.lemmas.empty());
+  std::remove(path.c_str());
+}
+
+TEST(LemmaStore, MissingFileIsAStructuredError) {
+  try {
+    mc::read_snapshot_file(temp_path("does_not_exist.its"));
+    FAIL() << "missing file was read";
+  } catch (const mc::SnapshotError& e) {
+    EXPECT_EQ(std::string(e.what()).rfind("snapshot: cannot open", 0), 0u)
+        << e.what();
+  }
+}
+
+// --- the restore path through the portfolio --------------------------------
+
+TEST(LemmaStore, SeededLemmasAreRestoredAndDoNotChangeTheVerdict) {
+  // A checkpointed PASS run's lemmas, re-entering via seed_lemmas: the
+  // run counts them as restored, writes a fresh decodable checkpoint whose
+  // design hash matches the model, and reaches the same verdict.
+  aig::Aig model = bench::token_ring(6, false);
+  mc::PortfolioOptions po;
+  po.time_limit_sec = 30.0;
+  po.members = {mc::PortfolioMember::kPdr, mc::PortfolioMember::kItp};
+  po.checkpoint_path = temp_path("seeded.its");
+  mc::EngineResult first = mc::check_portfolio(model, 0, po);
+  ASSERT_EQ(first.verdict, mc::Verdict::kPass);
+  LemmaSnapshot snap = mc::read_snapshot_file(po.checkpoint_path);
+  EXPECT_EQ(snap.design, mc::design_hash(model));
+  EXPECT_EQ(snap.num_latches, model.num_latches());
+
+  po.seed_lemmas = snap.lemmas;
+  mc::EngineResult second = mc::check_portfolio(model, 0, po);
+  EXPECT_EQ(second.verdict, mc::Verdict::kPass);
+  if (!snap.lemmas.empty()) {
+    EXPECT_GT(second.stats.lemmas_restored, 0u) << "no seed was restored";
+  }
+  std::remove(po.checkpoint_path.c_str());
+}
+
+TEST(LemmaStore, HostileSeedLemmasCannotFlipAFailVerdict) {
+  // A forged snapshot claiming the bad states are unreachable: every seed
+  // re-enters as kCandidate, so PDR's relative-induction check must discard
+  // it and the counterexample must still be found.
+  aig::Aig model = bench::counter(4, 12, 7);
+  mc::PortfolioOptions po;
+  po.time_limit_sec = 30.0;
+  po.members = {mc::PortfolioMember::kPdr, mc::PortfolioMember::kBmc};
+  for (std::size_t i = 0; i < model.num_latches(); ++i) {
+    mc::Lemma l;
+    l.clause = {mc::mk_latch_lit(i, true)};  // "latch i is always 0"
+    l.grade = mc::LemmaGrade::kInvariant;    // forged grade: must be demoted
+    po.seed_lemmas.push_back(l);
+  }
+  mc::EngineResult r = mc::check_portfolio(model, 0, po);
+  EXPECT_EQ(r.verdict, mc::Verdict::kFail);
+}
+
+}  // namespace
+}  // namespace itpseq

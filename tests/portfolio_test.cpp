@@ -14,6 +14,9 @@
 #include "mc/certify.hpp"
 #include "mc/portfolio.hpp"
 #include "mc/sim.hpp"
+#include "obs/trace.hpp"
+#include "util/fault.hpp"
+#include "util/retry.hpp"
 
 namespace itpseq::mc {
 namespace {
@@ -220,6 +223,127 @@ TEST(Portfolio, RandomSimDeterministicUnderFixedSeed) {
   EngineResult c = check_random_sim(g, 0, 32, 4096, 1234);
   ASSERT_EQ(c.verdict, Verdict::kFail);
   EXPECT_TRUE(traces_equal(a.cex, c.cex));
+}
+
+// --- self-healing: retry, backoff, degradation -----------------------------
+
+TEST(Portfolio, BackoffDelayIsDeterministicAndBounded) {
+  util::RestartPolicy p;  // base 0.25, factor 2, jitter 0.25
+  for (unsigned attempt = 0; attempt < 4; ++attempt) {
+    double nominal = p.backoff_base_sec;
+    for (unsigned i = 0; i < attempt; ++i) nominal *= p.backoff_factor;
+    double d = util::backoff_delay_sec(p, attempt, /*seed=*/42);
+    // Reproducible: the same (policy, attempt, seed) always schedules the
+    // same relaunch — no wall clock, no rand() (L5).
+    EXPECT_EQ(d, util::backoff_delay_sec(p, attempt, 42)) << attempt;
+    EXPECT_GE(d, nominal * (1.0 - p.jitter_frac)) << attempt;
+    EXPECT_LE(d, nominal * (1.0 + p.jitter_frac)) << attempt;
+  }
+  // Jitter decorrelates members that died together: distinct seeds must
+  // not produce an identical relaunch schedule.
+  EXPECT_NE(util::backoff_delay_sec(p, 1, 7), util::backoff_delay_sec(p, 1, 8));
+  // jitter 0 collapses to the exact exponential ladder.
+  p.jitter_frac = 0.0;
+  EXPECT_DOUBLE_EQ(util::backoff_delay_sec(p, 0, 7), 0.25);
+  EXPECT_DOUBLE_EQ(util::backoff_delay_sec(p, 2, 7), 1.0);
+}
+
+TEST(Portfolio, DegradationLadderShedsMemoryHungryMachinery) {
+  EngineOptions eo;
+  eo.sat_inprocess = true;
+  degrade_for_retry(eo, ErrorKind::kOutOfMemory);
+  EXPECT_FALSE(eo.sat_inprocess);
+  EXPECT_GT(eo.sat_reduce_base, 0.0);
+  EXPECT_LE(eo.sat_reduce_base, 500.0);
+  EXPECT_NE(eo.compact_threshold, 0u);
+  EXPECT_LE(eo.compact_threshold, 50000u);
+  // A tighter caller-chosen cap is respected, never loosened.
+  eo.sat_reduce_base = 100.0;
+  eo.compact_threshold = 1000;
+  degrade_for_retry(eo, ErrorKind::kOutOfMemory);
+  EXPECT_DOUBLE_EQ(eo.sat_reduce_base, 100.0);
+  EXPECT_EQ(eo.compact_threshold, 1000u);
+  // Non-memory kinds do not touch the solver configuration (kSolverLimit
+  // is handled by the scheduler shortening the leash instead).
+  EngineOptions fresh;
+  bool inproc = fresh.sat_inprocess;
+  degrade_for_retry(fresh, ErrorKind::kInternal);
+  degrade_for_retry(fresh, ErrorKind::kSolverLimit);
+  EXPECT_EQ(fresh.sat_inprocess, inproc);
+  EXPECT_DOUBLE_EQ(fresh.sat_reduce_base, EngineOptions().sat_reduce_base);
+}
+
+TEST(Portfolio, FaultedMemberIsRelaunchedAndRecovers) {
+  // The first interpolant extraction anywhere in the process throws; the
+  // window then closes.  The ITP member's first attempt dies, the
+  // self-healing scheduler relaunches it after backoff, and the relaunch
+  // — with the fault gone — must still prove the instance.  RANDOM-SIM
+  // cannot prove PASS, so a PASS verdict *is* the recovery.
+  util::fault::clear();
+  util::fault::configure("itp.extract:1:1:error");
+  obs::TraceConfig cfg;
+  cfg.sample_interval_sec = 0;  // drain at finish only
+  obs::TraceSink sink(cfg);
+  PortfolioOptions po = quick(30.0);
+  po.jobs = 2;
+  po.restart.backoff_base_sec = 0.02;  // keep the test fast
+  po.members = {PortfolioMember::kItp, PortfolioMember::kRandomSim};
+  EngineResult r = check_portfolio(bench::token_ring(6, false), 0, po);
+  sink.finish();
+  util::fault::clear();
+  ASSERT_EQ(r.verdict, Verdict::kPass);
+  EXPECT_NE(r.engine.find("ITP"), std::string::npos) << r.engine;
+  const MemberOutcome* itp = nullptr;
+  for (const MemberOutcome& m : r.members)
+    if (m.member == "ITP") itp = &m;
+  ASSERT_NE(itp, nullptr);
+  EXPECT_GE(itp->restarts, 1u);
+  EXPECT_EQ(itp->verdict, Verdict::kPass);
+  // The error that caused the relaunch stays on the record even though the
+  // member finished healthy.
+  EXPECT_EQ(itp->last_error.kind, ErrorKind::kInternal);
+  EXPECT_EQ(itp->error.kind, ErrorKind::kNone);
+  // The relaunch is observable: member_restart lands in the exchange
+  // matrix as a (member, "restart") row.
+  obs::TraceSink::Summary sum = sink.summary();
+  auto it = sum.exchange.find({"ITP", "restart"});
+  ASSERT_NE(it, sum.exchange.end()) << "member_restart row missing";
+  EXPECT_GE(it->second.published, 1u);
+}
+
+TEST(Portfolio, ExhaustedRetriesReportTheLastError) {
+  // Every extraction throws: the ITP members burn through the full retry
+  // budget and the portfolio — with no survivor — reports the taxonomy.
+  util::fault::clear();
+  util::fault::configure("itp.extract:1:1000000:error");
+  PortfolioOptions po = quick(30.0);
+  po.jobs = 2;
+  po.restart.backoff_base_sec = 0.02;
+  po.members = {PortfolioMember::kItp, PortfolioMember::kItp};
+  EngineResult r = check_portfolio(bench::token_ring(6, false), 0, po);
+  util::fault::clear();
+  ASSERT_EQ(r.verdict, Verdict::kError);
+  EXPECT_EQ(r.error.kind, ErrorKind::kInternal);
+  ASSERT_EQ(r.members.size(), 2u);
+  for (const MemberOutcome& m : r.members) {
+    EXPECT_EQ(m.verdict, Verdict::kError) << m.member;
+    EXPECT_EQ(m.restarts, po.restart.max_retries) << m.member;
+    EXPECT_EQ(m.last_error.kind, ErrorKind::kInternal) << m.member;
+  }
+}
+
+TEST(Portfolio, ZeroRetriesDisablesSelfHealing) {
+  util::fault::clear();
+  util::fault::configure("itp.extract:1:1000000:error");
+  PortfolioOptions po = quick(30.0);
+  po.jobs = 2;
+  po.restart.max_retries = 0;
+  po.members = {PortfolioMember::kItp, PortfolioMember::kItp};
+  EngineResult r = check_portfolio(bench::token_ring(6, false), 0, po);
+  util::fault::clear();
+  ASSERT_EQ(r.verdict, Verdict::kError);
+  for (const MemberOutcome& m : r.members)
+    EXPECT_EQ(m.restarts, 0u) << m.member;
 }
 
 TEST(Portfolio, SequentialSchedulerStillRespectsBudget) {
